@@ -1,0 +1,41 @@
+GO ?= go
+
+.PHONY: all build test vet race bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate every paper table and figure at paper scale.
+experiments:
+	$(GO) run ./cmd/experiments all
+
+# One testing.B benchmark per table/figure plus microbenchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/powerfail
+	$(GO) run ./examples/cluster
+	$(GO) run ./examples/phases
+	$(GO) run ./examples/serverfarm
+
+# Short fuzz sessions over the parsers and the profile loader.
+fuzz:
+	$(GO) test -fuzz FuzzParseFrequency -fuzztime 30s ./internal/units/
+	$(GO) test -fuzz FuzzParsePower -fuzztime 30s ./internal/units/
+	$(GO) test -fuzz FuzzLoadProgram -fuzztime 30s ./internal/workload/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestOrderMatchesRegistry ensures every registered experiment is in the
+// "all" presentation order exactly once and vice versa.
+func TestOrderMatchesRegistry(t *testing.T) {
+	reg := registry()
+	seen := map[string]bool{}
+	for _, id := range order {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("order entry %q not in registry", id)
+		}
+		if seen[id] {
+			t.Errorf("order entry %q duplicated", id)
+		}
+		seen[id] = true
+	}
+	for id := range reg {
+		if !seen[id] {
+			t.Errorf("registry entry %q missing from order", id)
+		}
+	}
+}
+
+// TestRegistryRunnersProduceOutput spot-checks the cheap analytic entries
+// end to end through the registry plumbing.
+func TestRegistryRunnersProduceOutput(t *testing.T) {
+	reg := registry()
+	o := experiments.TestOptions()
+	for _, id := range []string{"table1", "worked", "ab-policies", "ab-ideal"} {
+		rep, err := reg[id].run(o)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(rep.Render()) < 40 {
+			t.Errorf("%s: render too short", id)
+		}
+	}
+}

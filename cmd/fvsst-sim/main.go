@@ -1,0 +1,159 @@
+// Command fvsst-sim runs the frequency/voltage scheduler against a
+// configurable simulated SMP and prints the decision log — the closest
+// thing to running the paper's daemon on real hardware.
+//
+// Usage examples:
+//
+//	fvsst-sim -jobs mcf,gzip,idle,idle -duration 5
+//	fvsst-sim -jobs gzip,gap,mcf,health -budget 294 -fail-at 1.5
+//	fvsst-sim -jobs synth:20,idle,idle,idle -idle-signal -epsilon 0.08
+//
+// Jobs are assigned to CPUs in order: gzip, gap, mcf, health, idle,
+// synth:<cpu-intensity-percent>, or file:<profile.json> (a workload
+// profile saved with workload.SaveProgram).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/fvsst"
+	"repro/internal/machine"
+	"repro/internal/memhier"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func parseJob(spec string, scale float64) (workload.Program, error) {
+	if path, ok := strings.CutPrefix(spec, "file:"); ok {
+		f, err := os.Open(path)
+		if err != nil {
+			return workload.Program{}, err
+		}
+		defer f.Close()
+		return workload.LoadProgram(f)
+	}
+	if rest, ok := strings.CutPrefix(spec, "synth:"); ok {
+		intensity, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return workload.Program{}, fmt.Errorf("bad synth intensity %q: %w", rest, err)
+		}
+		h := memhier.P630()
+		probe, err := workload.SyntheticIntensityPhase("p", intensity, 1000, h)
+		if err != nil {
+			return workload.Program{}, err
+		}
+		instr := workload.InstructionsForDuration(probe, h, 1e9, 30*scale)
+		phase, err := workload.SyntheticIntensityPhase("main", intensity, instr, h)
+		if err != nil {
+			return workload.Program{}, err
+		}
+		return workload.Program{Name: spec, Phases: []workload.Phase{phase}}, nil
+	}
+	return workload.App(spec, workload.AppScale(scale))
+}
+
+func main() {
+	jobs := flag.String("jobs", "mcf,idle,idle,idle", "comma-separated per-CPU jobs")
+	budgetW := flag.Float64("budget", 560, "initial CPU power budget (watts)")
+	failAt := flag.Float64("fail-at", 0, "simulated time of a power-supply failure dropping the budget to 294W (0 = never)")
+	duration := flag.Float64("duration", 5, "simulated seconds to run")
+	epsilon := flag.Float64("epsilon", 0.05, "acceptable performance loss ε")
+	idleSignal := flag.Bool("idle-signal", false, "enable the firmware idle indicator")
+	ideal := flag.Bool("ideal", false, "use the closed-form f_ideal instead of the ε-scan")
+	scale := flag.Float64("scale", 0.5, "workload scale")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	every := flag.Int("log-every", 10, "print every n-th timer decision")
+	flag.Parse()
+
+	mcfg := machine.P630Config()
+	mcfg.Seed = *seed
+	m, err := machine.New(mcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := strings.Split(*jobs, ",")
+	if len(specs) > mcfg.NumCPUs {
+		log.Fatalf("%d jobs for %d CPUs", len(specs), mcfg.NumCPUs)
+	}
+	for cpu, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if spec == "idle" || spec == "" {
+			continue
+		}
+		prog, err := parseJob(spec, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix, err := workload.NewMix(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.SetMix(cpu, mix); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := fvsst.DefaultConfig()
+	cfg.Epsilon = *epsilon
+	cfg.UseIdleSignal = *idleSignal
+	cfg.UseIdealFrequency = *ideal
+	sched, err := fvsst.New(cfg, m, units.Watts(*budgetW))
+	if err != nil {
+		log.Fatal(err)
+	}
+	drv := fvsst.NewDriver(m, sched)
+	if *failAt > 0 {
+		drv.Budgets, err = power.NewBudgetSchedule(units.Watts(*budgetW),
+			power.BudgetEvent{At: *failAt, Budget: units.Watts(294), Label: "supply failure"})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	printed := 0
+	timerSeen := 0
+	lastLogged := -1
+	for m.Now() < *duration && !m.AllJobsDone() {
+		if err := drv.Step(); err != nil {
+			log.Fatal(err)
+		}
+		decs := sched.Decisions()
+		if len(decs)-1 == lastLogged {
+			continue
+		}
+		lastLogged = len(decs) - 1
+		d := decs[lastLogged]
+		if d.Trigger == "timer" {
+			timerSeen++
+			if timerSeen%*every != 0 {
+				continue
+			}
+		}
+		fmt.Printf("t=%6.2fs  %-13s budget %-5v table %-5v met=%-5v ", d.At, d.Trigger, d.Budget, d.TablePower, d.BudgetMet)
+		for _, a := range d.Assignments {
+			mark := " "
+			if a.Idle {
+				mark = "*"
+			}
+			fmt.Printf(" cpu%d%s%v", a.CPU, mark, a.Actual)
+		}
+		fmt.Println()
+		printed++
+	}
+
+	fmt.Printf("\nfinished at t=%.2fs; system power %v; CPU energy %v\n",
+		m.Now(), m.SystemPower(), m.CPUEnergy())
+	for _, c := range m.Completions() {
+		fmt.Printf("  cpu%d %-10s done at %.2fs\n", c.CPU, c.Program, c.At)
+	}
+	if sum, err := fvsst.Summarize(sched.Decisions()); err == nil {
+		fmt.Println()
+		fmt.Print(sum.Render())
+	}
+}

@@ -1,0 +1,446 @@
+// Package cluster extends the fvsst scheduler from a single SMP to a
+// server cluster (§1, §5): several nodes, each its own machine with local
+// performance counters, coordinated by one scheduler that enforces a
+// *global* power budget. The coordinator communicates with nodes over a
+// modelled network: counter data arrives one RTT stale and frequency
+// actuations take one RTT to land — the inter-node communication overhead
+// §5 says the long scheduling period T amortises.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/counters"
+	"repro/internal/fvsst"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Node is one cluster member.
+type Node struct {
+	Name string
+	M    *machine.Machine
+	// RTT is the one-way coordinator↔node message latency in seconds.
+	RTT float64
+
+	sampler *counters.Sampler
+}
+
+// Validate checks the node.
+func (n *Node) Validate() error {
+	if n.Name == "" {
+		return fmt.Errorf("cluster: node needs a name")
+	}
+	if n.M == nil {
+		return fmt.Errorf("cluster: node %s has no machine", n.Name)
+	}
+	if n.RTT < 0 {
+		return fmt.Errorf("cluster: node %s has negative RTT", n.Name)
+	}
+	return nil
+}
+
+// ProcRef addresses one processor in the cluster.
+type ProcRef struct {
+	Node int
+	CPU  int
+}
+
+// Assignment is the coordinator's decision for one processor.
+type Assignment struct {
+	Proc          ProcRef
+	Desired       units.Frequency
+	Actual        units.Frequency
+	Voltage       units.Voltage
+	PredictedLoss float64
+	Idle          bool
+}
+
+// Decision is one global scheduling pass.
+type Decision struct {
+	At          float64
+	Trigger     string
+	Budget      units.Power
+	TablePower  units.Power
+	BudgetMet   bool
+	Assignments []Assignment
+}
+
+type pendingActuation struct {
+	due  float64
+	proc ProcRef
+	f    units.Frequency
+}
+
+// Coordinator runs the global frequency/voltage schedule across all nodes.
+type Coordinator struct {
+	cfg    fvsst.Config
+	nodes  []*Node
+	budget units.Power
+	// Budgets optionally drives the global budget over time.
+	Budgets *power.BudgetSchedule
+
+	pending   []pendingActuation
+	decisions []Decision
+	collects  int
+	now       float64
+	quantum   float64
+}
+
+// New builds a coordinator over the nodes with a global processor power
+// budget. All machines must share the same dispatch quantum; the
+// coordinator steps them in lockstep.
+func New(cfg fvsst.Config, budget units.Power, nodes ...*Node) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("cluster: budget %v must be positive", budget)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: at least one node required")
+	}
+	for _, n := range nodes {
+		if err := n.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	quantum := nodes[0].M.Config().Quantum
+	for _, n := range nodes {
+		if n.M.Config().Quantum != quantum {
+			return nil, fmt.Errorf("cluster: node %s quantum %v differs from %v", n.Name, n.M.Config().Quantum, quantum)
+		}
+		sampler, err := counters.NewSampler(n.M, 4*cfg.SchedulePeriods+staleQuanta(n.RTT, quantum))
+		if err != nil {
+			return nil, err
+		}
+		n.sampler = sampler
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		nodes:   nodes,
+		budget:  budget,
+		quantum: quantum,
+	}, nil
+}
+
+// staleQuanta converts an RTT into whole dispatch quanta of staleness.
+func staleQuanta(rtt, quantum float64) int {
+	return int(math.Ceil(rtt / quantum))
+}
+
+// Nodes returns the cluster's nodes.
+func (c *Coordinator) Nodes() []*Node { return c.nodes }
+
+// Now returns the cluster simulation time.
+func (c *Coordinator) Now() float64 { return c.now }
+
+// Budget returns the current global budget.
+func (c *Coordinator) Budget() units.Power { return c.budget }
+
+// TotalCPUPower returns the aggregate processor power across all nodes.
+func (c *Coordinator) TotalCPUPower() units.Power {
+	var sum units.Power
+	for _, n := range c.nodes {
+		sum += n.M.TotalCPUPower()
+	}
+	return sum
+}
+
+// procs enumerates every processor in the cluster in (node, cpu) order.
+func (c *Coordinator) procs() []ProcRef {
+	var out []ProcRef
+	for ni, n := range c.nodes {
+		for cpu := 0; cpu < n.M.NumCPUs(); cpu++ {
+			out = append(out, ProcRef{Node: ni, CPU: cpu})
+		}
+	}
+	return out
+}
+
+// Step advances every node by one dispatch quantum and runs the
+// coordinator's collect/schedule protocol.
+func (c *Coordinator) Step() error {
+	// Budget change trigger.
+	if c.Budgets != nil {
+		if want := c.Budgets.At(c.now); want != c.budget {
+			c.budget = want
+			if err := c.schedule("budget-change"); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Deliver matured actuations (they spent one RTT in flight).
+	kept := c.pending[:0]
+	for _, p := range c.pending {
+		if p.due <= c.now {
+			n := c.nodes[p.proc.Node]
+			if err := n.M.SetFrequency(p.proc.CPU, p.f); err != nil {
+				return fmt.Errorf("cluster: actuate %s cpu %d: %w", n.Name, p.proc.CPU, err)
+			}
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	c.pending = kept
+
+	for _, n := range c.nodes {
+		n.M.Step()
+		if err := n.sampler.Collect(); err != nil {
+			return err
+		}
+	}
+	c.now += c.quantum
+	c.collects++
+
+	if c.collects%c.cfg.SchedulePeriods == 0 {
+		return c.schedule("timer")
+	}
+	return nil
+}
+
+// observation builds the (stale) observation for a processor: the most
+// recent RTT's worth of windows has not reached the coordinator yet, so the
+// aggregate skips them.
+func (c *Coordinator) observation(p ProcRef) (perfmodel.Observation, bool) {
+	n := c.nodes[p.Node]
+	skip := staleQuanta(n.RTT, c.quantum)
+	hist := n.sampler.History(p.CPU)
+	if hist.Len() <= skip {
+		return perfmodel.Observation{}, false
+	}
+	var agg counters.Delta
+	count := 0
+	for i := skip; i < hist.Len() && count < c.cfg.SchedulePeriods; i++ {
+		agg = agg.Add(hist.Last(i))
+		count++
+	}
+	fHz := agg.ObservedFrequencyHz()
+	if agg.Instructions == 0 || agg.Cycles == 0 || fHz <= 0 {
+		return perfmodel.Observation{}, false
+	}
+	return perfmodel.Observation{Delta: agg, Freq: units.Frequency(fHz)}, true
+}
+
+// schedule runs the global two-pass algorithm and dispatches actuations.
+func (c *Coordinator) schedule(trigger string) error {
+	pred, err := perfmodel.New(c.cfg.Hier)
+	if err != nil {
+		return err
+	}
+	procs := c.procs()
+	set := c.cfg.Table.Frequencies()
+	desired := make([]units.Frequency, len(procs))
+	decs := make([]*perfmodel.Decomposition, len(procs))
+	idle := make([]bool, len(procs))
+
+	for i, p := range procs {
+		n := c.nodes[p.Node]
+		if c.cfg.UseIdleSignal && n.M.IsIdle(p.CPU) {
+			idle[i] = true
+			desired[i] = set.Min()
+			continue
+		}
+		obs, ok := c.observation(p)
+		if !ok {
+			desired[i] = set.Max()
+			continue
+		}
+		dec, err := pred.Decompose(obs)
+		if err != nil {
+			return fmt.Errorf("cluster: %s cpu %d: %w", n.Name, p.CPU, err)
+		}
+		decs[i] = &dec
+		if c.cfg.UseIdealFrequency {
+			f, err := fvsst.IdealEpsilonFrequency(dec, set, c.cfg.Epsilon)
+			if err != nil {
+				return err
+			}
+			desired[i] = f
+		} else {
+			desired[i] = fvsst.EpsilonFrequency(dec, set, c.cfg.Epsilon)
+		}
+	}
+
+	actual, met, err := fvsst.FitToBudget(decs, desired, c.cfg.Table, c.budget)
+	if err != nil {
+		return err
+	}
+	volts, err := fvsst.Voltages(actual, c.cfg.Table)
+	if err != nil {
+		return err
+	}
+	tablePower, err := fvsst.TotalTablePower(actual, c.cfg.Table)
+	if err != nil {
+		return err
+	}
+
+	assignments := make([]Assignment, len(procs))
+	for i, p := range procs {
+		n := c.nodes[p.Node]
+		c.pending = append(c.pending, pendingActuation{
+			due:  c.now + n.RTT,
+			proc: p,
+			f:    actual[i],
+		})
+		a := Assignment{
+			Proc:    p,
+			Desired: desired[i],
+			Actual:  actual[i],
+			Voltage: volts[i],
+			Idle:    idle[i],
+		}
+		if decs[i] != nil {
+			a.PredictedLoss = decs[i].PerfLoss(set.Max(), actual[i])
+		}
+		assignments[i] = a
+	}
+	c.decisions = append(c.decisions, Decision{
+		At:          c.now,
+		Trigger:     trigger,
+		Budget:      c.budget,
+		TablePower:  tablePower,
+		BudgetMet:   met,
+		Assignments: assignments,
+	})
+	return nil
+}
+
+// Decisions returns the coordinator's decision log.
+func (c *Coordinator) Decisions() []Decision {
+	out := make([]Decision, len(c.decisions))
+	copy(out, c.decisions)
+	return out
+}
+
+// Run advances the cluster until simulation time t.
+func (c *Coordinator) Run(until float64) error {
+	for c.now < until {
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllJobsDone reports whether every node's workload completed.
+func (c *Coordinator) AllJobsDone() bool {
+	for _, n := range c.nodes {
+		if !n.M.AllJobsDone() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUntilAllDone advances until all workloads finish or the deadline
+// passes.
+func (c *Coordinator) RunUntilAllDone(deadline float64) (bool, error) {
+	for c.now < deadline {
+		if c.AllJobsDone() {
+			return true, nil
+		}
+		if err := c.Step(); err != nil {
+			return false, err
+		}
+	}
+	return c.AllJobsDone(), nil
+}
+
+// Completions gathers job completions across all nodes, sorted by time.
+type Completion struct {
+	Node    string
+	CPU     int
+	Program string
+	At      float64
+}
+
+// Completions returns all completions across the cluster in time order.
+func (c *Coordinator) Completions() []Completion {
+	var out []Completion
+	for _, n := range c.nodes {
+		for _, jc := range n.M.Completions() {
+			out = append(out, Completion{Node: n.Name, CPU: jc.CPU, Program: jc.Program, At: jc.At})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// TierSpec describes one tier of a classic three-tier deployment.
+type TierSpec struct {
+	Name string
+	// Programs are assigned round-robin to the node's CPUs.
+	Programs []workload.Program
+	RTT      float64
+}
+
+// NewTieredNode builds a node from a machine config and tier spec.
+func NewTieredNode(mcfg machine.Config, tier TierSpec) (*Node, error) {
+	mcfg.Name = tier.Name
+	m, err := machine.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, prog := range tier.Programs {
+		cpu := i % mcfg.NumCPUs
+		existing := m.Mix(cpu)
+		if existing != nil {
+			// Merge into a fresh mix with the previous programs. Mixes are
+			// cheap; rebuild from the tier's program list for this CPU.
+			var progs []workload.Program
+			for _, j := range existing.Jobs() {
+				progs = append(progs, j.Program())
+			}
+			progs = append(progs, prog)
+			mix, err := workload.NewMix(progs...)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.SetMix(cpu, mix); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		mix, err := workload.NewMix(prog)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.SetMix(cpu, mix); err != nil {
+			return nil, err
+		}
+	}
+	return &Node{Name: tier.Name, M: m, RTT: tier.RTT}, nil
+}
+
+// Tiered builds the paper's motivating cluster shape (§4.2: "some machines
+// run the web server, some the processing logic and some the database"):
+// a web node with light CPU work and idle capacity, an app node with
+// CPU-bound work, and a db node with memory-bound work. scale trades run
+// length for harness time.
+func Tiered(mcfg machine.Config, scale workload.AppScale) ([]*Node, error) {
+	web := TierSpec{Name: "web", RTT: 0.002, Programs: []workload.Program{
+		workload.Gzip(scale), // static-content compression
+	}}
+	app := TierSpec{Name: "app", RTT: 0.002, Programs: []workload.Program{
+		workload.Gap(scale), workload.Gzip(scale), workload.Gap(scale), workload.Gap(scale),
+	}}
+	db := TierSpec{Name: "db", RTT: 0.002, Programs: []workload.Program{
+		workload.Mcf(scale), workload.Health(scale), workload.Mcf(scale), workload.Health(scale),
+	}}
+	var nodes []*Node
+	for _, tier := range []TierSpec{web, app, db} {
+		n, err := NewTieredNode(mcfg, tier)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}

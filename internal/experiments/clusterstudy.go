@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// ClusterStudyReport extends the evaluation to the cluster setting the
+// paper targets but leaves as future work (§6: "the development of a
+// prototype for the cluster environment remains as future work"): a
+// three-tier web/app/db cluster under a global power cap, scheduled by the
+// global fvsst coordinator versus a uniform per-cluster frequency cap.
+type ClusterStudyReport struct {
+	GlobalBudgetW float64
+	// TierFreqFVSST / TierFreqUniform are the mean assigned frequencies
+	// (MHz) per tier under each policy after the cap.
+	TierFreqFVSST   map[string]float64
+	TierFreqUniform map[string]float64
+	// MakespanFVSST / MakespanUniform are the times (s) at which the last
+	// workload completed.
+	MakespanFVSST   float64
+	MakespanUniform float64
+	// PowerOK reports whether both stayed within the cap.
+	PowerOK bool
+}
+
+// clusterRun builds a tiered cluster and runs it to completion under a
+// global budget; uniform mode pins every processor at the highest common
+// frequency fitting the budget instead of consulting the predictor.
+func (o Options) clusterRun(budget units.Power, uniform bool) (map[string]float64, float64, bool, error) {
+	mcfg := o.machineConfig(4)
+	nodes, err := cluster.Tiered(mcfg, o.Scale)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	cfg := o.schedConfig()
+	cfg.UseIdleSignal = true
+	coord, err := cluster.New(cfg, budget, nodes...)
+	if err != nil {
+		return nil, 0, false, err
+	}
+
+	if uniform {
+		// Pre-assign the uniform cap and never reschedule: the classic
+		// "slow all nodes uniformly" response. 12 processors share the
+		// budget equally.
+		table := cfg.Table
+		per := units.Power(budget.W() / 12)
+		f, ok := table.MaxFrequencyUnder(per)
+		if !ok {
+			f = table.MinFrequency()
+		}
+		for _, n := range nodes {
+			for cpu := 0; cpu < n.M.NumCPUs(); cpu++ {
+				if err := n.M.SetFrequency(cpu, f); err != nil {
+					return nil, 0, false, err
+				}
+			}
+		}
+		// Drive the machines directly without the coordinator.
+		powerOK := true
+		now := 0.0
+		for !allDone(nodes) && now < 3600 {
+			var total units.Power
+			for _, n := range nodes {
+				n.M.Step()
+				total += n.M.TotalCPUPower()
+			}
+			if total > budget+units.Watts(1) {
+				powerOK = false
+			}
+			now += mcfg.Quantum
+		}
+		if !allDone(nodes) {
+			return nil, 0, false, fmt.Errorf("experiments: uniform cluster run did not finish")
+		}
+		freqs := map[string]float64{}
+		for _, n := range nodes {
+			freqs[n.Name] = f.MHz()
+		}
+		return freqs, lastCompletion(nodes), powerOK, nil
+	}
+
+	done, err := coord.RunUntilAllDone(3600)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !done {
+		return nil, 0, false, fmt.Errorf("experiments: fvsst cluster run did not finish")
+	}
+	powerOK := coord.TotalCPUPower() <= budget+units.Watts(1)
+	// Mean busy-processor frequency per tier across every decision of the
+	// run (a tier that finishes early goes idle and stops contributing).
+	sum := map[string]float64{}
+	count := map[string]int{}
+	for _, d := range coord.Decisions() {
+		for _, a := range d.Assignments {
+			if a.Idle {
+				continue
+			}
+			name := nodes[a.Proc.Node].Name
+			sum[name] += a.Actual.MHz()
+			count[name]++
+		}
+	}
+	freqs := map[string]float64{}
+	for name, s := range sum {
+		freqs[name] = s / float64(count[name])
+	}
+	return freqs, lastCompletion(nodes), powerOK, nil
+}
+
+func allDone(nodes []*cluster.Node) bool {
+	for _, n := range nodes {
+		if !n.M.AllJobsDone() {
+			return false
+		}
+	}
+	return true
+}
+
+func lastCompletion(nodes []*cluster.Node) float64 {
+	worst := 0.0
+	for _, n := range nodes {
+		for _, c := range n.M.Completions() {
+			if c.At > worst {
+				worst = c.At
+			}
+		}
+	}
+	return worst
+}
+
+// ClusterStudy runs the tiered-cluster comparison under a 900 W global cap
+// (12 processors; unconstrained they would draw up to 1680 W).
+func ClusterStudy(o Options) (*ClusterStudyReport, error) {
+	const budgetW = 900
+	fvFreqs, fvMakespan, fvOK, err := o.clusterRun(units.Watts(budgetW), false)
+	if err != nil {
+		return nil, err
+	}
+	unFreqs, unMakespan, unOK, err := o.clusterRun(units.Watts(budgetW), true)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterStudyReport{
+		GlobalBudgetW:   budgetW,
+		TierFreqFVSST:   fvFreqs,
+		TierFreqUniform: unFreqs,
+		MakespanFVSST:   fvMakespan,
+		MakespanUniform: unMakespan,
+		PowerOK:         fvOK && unOK,
+	}, nil
+}
+
+// Render formats the report.
+func (r *ClusterStudyReport) Render() string {
+	t := telemetry.Table{
+		Title:   fmt.Sprintf("Cluster study: 3-tier cluster under a %.0fW global cap", r.GlobalBudgetW),
+		Headers: []string{"Tier", "fvsst mean f", "uniform f"},
+	}
+	for _, tier := range []string{"web", "app", "db"} {
+		t.MustAddRow(tier,
+			fmt.Sprintf("%.0fMHz", r.TierFreqFVSST[tier]),
+			fmt.Sprintf("%.0fMHz", r.TierFreqUniform[tier]))
+	}
+	return t.String() + fmt.Sprintf(
+		"makespan: fvsst %.2fs vs uniform %.2fs (%.1f%% faster); power within cap: %v\n",
+		r.MakespanFVSST, r.MakespanUniform,
+		(r.MakespanUniform/r.MakespanFVSST-1)*100, r.PowerOK)
+}

@@ -1,0 +1,155 @@
+// Package fvsst implements the paper's contribution: the frequency and
+// voltage scheduler for SMP servers (and, through internal/cluster, server
+// clusters). Given per-processor performance-counter observations, a table
+// of operating points and a global processor power budget, it runs the
+// two-pass algorithm of Figure 3:
+//
+//	Step 1 — per processor, predict IPC at every available frequency and
+//	         pick the lowest whose predicted performance loss versus f_max
+//	         is below ε (performance saturation);
+//	Step 2 — while the aggregate power exceeds the budget, lower the
+//	         processor whose next step down costs the least predicted
+//	         performance;
+//	Step 3 — assign each processor the minimum voltage for its frequency.
+//
+// Rescheduling is triggered by the periodic timer T = n·t, by changes to
+// the global power limit, and by idle transitions (§5).
+package fvsst
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// EpsilonFrequency performs Step 1 for one processor: the lowest frequency
+// in set whose predicted loss versus the set's maximum is under epsilon.
+// When even the second-highest setting loses too much, it returns the
+// maximum — the upward adjustment the paper notes Step 1 may make.
+func EpsilonFrequency(dec perfmodel.Decomposition, set units.FrequencySet, epsilon float64) units.Frequency {
+	fMax := set.Max()
+	for _, f := range set {
+		if dec.PerfLoss(fMax, f) < epsilon {
+			return f
+		}
+	}
+	return fMax
+}
+
+// IdealEpsilonFrequency is the continuous-frequency extension of §5/§9: it
+// computes f_ideal in closed form and snaps it to the lowest set member at
+// or above it, avoiding the per-frequency scan. For small sets the two
+// approaches agree (tested); for hardware with many settings this is the
+// cheaper path.
+func IdealEpsilonFrequency(dec perfmodel.Decomposition, set units.FrequencySet, epsilon float64) (units.Frequency, error) {
+	ideal, err := dec.IdealFrequency(set.Max(), epsilon)
+	if err != nil {
+		return 0, err
+	}
+	if f, ok := set.CeilOf(ideal); ok {
+		return f, nil
+	}
+	return set.Max(), nil
+}
+
+// LossAt evaluates a processor's predicted loss at frequency f versus the
+// set maximum; a helper shared by the budget-fitting pass and diagnostics.
+func LossAt(dec perfmodel.Decomposition, set units.FrequencySet, f units.Frequency) float64 {
+	return dec.PerfLoss(set.Max(), f)
+}
+
+// FitToBudget performs Step 2 across all processors: given the ε-constrained
+// assignment, it lowers frequencies — always the processor whose *next
+// lower* setting has the smallest predicted loss versus f_max — until the
+// aggregate table power fits the budget. It returns the adjusted
+// assignment and whether the budget was met (false means every processor
+// is already at the minimum setting and the budget is still exceeded; the
+// caller must rely on the safety margin / external action).
+//
+// decs may contain a nil entry for an idle processor; idle processors are
+// treated as having zero loss at any frequency, so they are lowered first.
+func FitToBudget(decs []*perfmodel.Decomposition, assigned []units.Frequency, table *power.Table, budget units.Power) ([]units.Frequency, bool, error) {
+	if len(decs) != len(assigned) {
+		return nil, false, fmt.Errorf("fvsst: %d decompositions for %d assignments", len(decs), len(assigned))
+	}
+	set := table.Frequencies()
+	out := make([]units.Frequency, len(assigned))
+	copy(out, assigned)
+
+	totalPower := func() (units.Power, error) {
+		var sum units.Power
+		for _, f := range out {
+			p, err := table.PowerAt(f)
+			if err != nil {
+				return 0, err
+			}
+			sum += p
+		}
+		return sum, nil
+	}
+
+	for {
+		sum, err := totalPower()
+		if err != nil {
+			return nil, false, err
+		}
+		if sum <= budget {
+			return out, true, nil
+		}
+		// Pick the processor whose next-lower setting costs least. Ties —
+		// common when several processors lack counter data (nil
+		// decomposition, zero predicted loss) — break toward the one at
+		// the highest frequency, so equal-loss reductions level the
+		// assignment instead of driving one processor to the floor.
+		best := -1
+		bestLoss := math.Inf(1)
+		var bestF units.Frequency
+		for i, f := range out {
+			less, ok := set.NextBelow(f)
+			if !ok {
+				continue // already at minimum
+			}
+			loss := 0.0
+			if decs[i] != nil {
+				loss = decs[i].PerfLoss(set.Max(), less)
+			}
+			if loss < bestLoss || (loss == bestLoss && best >= 0 && f > out[best]) {
+				best, bestLoss, bestF = i, loss, less
+			}
+		}
+		if best < 0 {
+			return out, false, nil // floor reached, budget still exceeded
+		}
+		out[best] = bestF
+	}
+}
+
+// Voltages performs Step 3: the minimum table voltage for each assigned
+// frequency.
+func Voltages(assigned []units.Frequency, table *power.Table) ([]units.Voltage, error) {
+	out := make([]units.Voltage, len(assigned))
+	for i, f := range assigned {
+		v, err := table.MinVoltage(f)
+		if err != nil {
+			return nil, fmt.Errorf("fvsst: voltage for cpu %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// TotalTablePower sums the table power of an assignment.
+func TotalTablePower(assigned []units.Frequency, table *power.Table) (units.Power, error) {
+	var sum units.Power
+	for _, f := range assigned {
+		p, err := table.PowerAt(f)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+	}
+	return sum, nil
+}

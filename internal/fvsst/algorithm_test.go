@@ -1,0 +1,327 @@
+package fvsst
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func sec5Set() units.FrequencySet { return power.Section5Table().Frequencies() }
+
+func dec(alpha, stallNs float64) perfmodel.Decomposition {
+	return perfmodel.Decomposition{InvAlpha: 1 / alpha, StallSecPerInstr: stallNs * 1e-9}
+}
+
+func TestEpsilonFrequencyCPUBoundPinsMax(t *testing.T) {
+	d := dec(1.4, 0.05)
+	if got := EpsilonFrequency(d, sec5Set(), 0.05); got != units.GHz(1) {
+		t.Errorf("CPU-bound ε-frequency = %v, want 1GHz", got)
+	}
+}
+
+func TestEpsilonFrequencyMemoryBoundSaturates(t *testing.T) {
+	// mcf-calibrated: α·S ≈ 9.3/GHz → 650 MHz would lose <5%, so on the
+	// §5 coarse set the lowest admissible setting is 700 MHz.
+	d := dec(1.1, 8.44)
+	got := EpsilonFrequency(d, sec5Set(), 0.05)
+	if got != units.MHz(700) {
+		t.Errorf("memory-bound ε-frequency = %v, want 700MHz", got)
+	}
+	// On the fine-grained Table 1 set, 650 MHz is available and chosen.
+	fine := power.PaperTable1().Frequencies()
+	if got := EpsilonFrequency(d, fine, 0.05); got != units.MHz(650) {
+		t.Errorf("fine-set ε-frequency = %v, want 650MHz", got)
+	}
+}
+
+func TestEpsilonFrequencyPicksLowestAdmissible(t *testing.T) {
+	// Extremely memory-bound work admits even the lowest setting.
+	d := dec(1.0, 100)
+	if got := EpsilonFrequency(d, sec5Set(), 0.05); got != units.MHz(600) {
+		t.Errorf("ε-frequency = %v, want set minimum", got)
+	}
+}
+
+func TestEpsilonFrequencyAgreesWithIdealExtension(t *testing.T) {
+	set := power.PaperTable1().Frequencies()
+	err := quick.Check(func(aRaw, sRaw uint16) bool {
+		alpha := 0.5 + float64(aRaw%30)/10
+		stall := float64(sRaw%1500) / 100 // 0 .. 15 ns
+		d := dec(alpha, stall)
+		scan := EpsilonFrequency(d, set, 0.05)
+		ideal, err := IdealEpsilonFrequency(d, set, 0.05)
+		if err != nil {
+			return false
+		}
+		// The paper's closed form short-circuits to f_max whenever the
+		// predicted IPC at f_max exceeds 1 — deliberately coarser than the
+		// scan for high-IPC work. Outside that regime the two agree to
+		// within one 50 MHz grid step (the scan uses strict inequality at
+		// grid points, the closed form targets (1-ε)·Perf exactly).
+		if d.IPCAt(set.Max()) > 1 {
+			return ideal == set.Max() && ideal >= scan
+		}
+		return math.Abs(scan.MHz()-ideal.MHz()) <= 50.01
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLossAt(t *testing.T) {
+	d := dec(1.4, 0)
+	if got := LossAt(d, sec5Set(), units.MHz(600)); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("LossAt = %v, want 0.4 (pure CPU at 60%% clock)", got)
+	}
+}
+
+func TestFitToBudgetNoActionWhenUnderBudget(t *testing.T) {
+	tab := power.Section5Table()
+	d1, d2 := dec(1.4, 0.1), dec(1.1, 8.44)
+	assigned := []units.Frequency{units.GHz(1), units.MHz(700)}
+	out, met, err := FitToBudget([]*perfmodel.Decomposition{&d1, &d2}, assigned, tab, units.Watts(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		t.Error("budget not met")
+	}
+	if out[0] != units.GHz(1) || out[1] != units.MHz(700) {
+		t.Errorf("assignment changed needlessly: %v", out)
+	}
+}
+
+func TestFitToBudgetLowersCheapestFirst(t *testing.T) {
+	tab := power.Section5Table()
+	cpuBound := dec(1.4, 0.1)  // loses a lot per step
+	memBound := dec(1.1, 8.44) // loses little per step
+	assigned := []units.Frequency{units.GHz(1), units.GHz(1)}
+	// 140+140 = 280 W; budget 249 W forces one step down (→249 W max).
+	out, met, err := FitToBudget(
+		[]*perfmodel.Decomposition{&cpuBound, &memBound},
+		assigned, tab, units.Watts(249))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		t.Error("budget not met")
+	}
+	// The memory-bound CPU must absorb the reduction.
+	if out[0] != units.GHz(1) || out[1] != units.MHz(900) {
+		t.Errorf("fit = %v, want [1GHz 900MHz]", out)
+	}
+}
+
+func TestFitToBudgetIdleLoweredFirst(t *testing.T) {
+	tab := power.Section5Table()
+	busy := dec(1.4, 0.1)
+	assigned := []units.Frequency{units.GHz(1), units.GHz(1)}
+	// Nil decomposition = idle: zero loss at any frequency.
+	out, met, err := FitToBudget(
+		[]*perfmodel.Decomposition{&busy, nil},
+		assigned, tab, units.Watts(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		t.Error("budget not met")
+	}
+	if out[0] != units.GHz(1) {
+		t.Errorf("busy CPU lowered before idle one: %v", out)
+	}
+	if out[1] >= units.GHz(1) {
+		t.Errorf("idle CPU not lowered: %v", out)
+	}
+}
+
+func TestFitToBudgetInfeasible(t *testing.T) {
+	tab := power.Section5Table()
+	d := dec(1.4, 0.1)
+	out, met, err := FitToBudget([]*perfmodel.Decomposition{&d}, []units.Frequency{units.GHz(1)}, tab, units.Watts(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met {
+		t.Error("10W budget reported met")
+	}
+	if out[0] != tab.MinFrequency() {
+		t.Errorf("infeasible fit should floor at minimum, got %v", out[0])
+	}
+}
+
+func TestFitToBudgetLengthMismatch(t *testing.T) {
+	tab := power.Section5Table()
+	if _, _, err := FitToBudget(nil, []units.Frequency{units.GHz(1)}, tab, units.Watts(100)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestWorkedExampleSection5 reproduces the paper's §5 sample calculation:
+// four CPUs, frequency set {0.6..1.0 GHz}, 294 W budget. At T0 the
+// ε-constrained vector is [1.0, 0.7, 0.8, 0.8] GHz (348 W — over budget)
+// and Step 2 lowers it to [0.6, 0.6, 0.7, 0.7] GHz with power vector
+// [48, 48, 66, 66] = 228 W... the paper's published actual vector
+// [0.6,0.6,0.7,0.7] has stated powers [109,48,66,66], an internal
+// inconsistency in the paper (109 W is the 0.9 GHz entry of its own Table
+// 1). We assert the algorithmic invariants the text states: the actual
+// vector is under budget, dominated by the desired vector, and CPU 0 —
+// the least-saturated processor — takes the largest loss.
+func TestWorkedExampleSection5(t *testing.T) {
+	tab := power.Section5Table()
+	set := tab.Frequencies()
+
+	// Decompositions chosen so Step 1 yields the paper's ε-constrained
+	// vector [1.0GHz, 0.7GHz, 0.8GHz, 0.8GHz].
+	cpu0 := dec(1.4, 0.1)  // CPU-bound → 1.0 GHz
+	cpu1 := dec(1.1, 8.44) // strongly memory-bound → 0.7 GHz
+	cpu2 := dec(1.2, 5.2)  // moderately memory-bound → 0.8 GHz
+	cpu3 := dec(1.2, 5.2)  // same → 0.8 GHz
+	decs := []*perfmodel.Decomposition{&cpu0, &cpu1, &cpu2, &cpu3}
+
+	desired := make([]units.Frequency, 4)
+	for i, d := range decs {
+		desired[i] = EpsilonFrequency(*d, set, 0.05)
+	}
+	want := []units.Frequency{units.GHz(1), units.MHz(700), units.MHz(800), units.MHz(800)}
+	for i := range want {
+		if desired[i] != want[i] {
+			t.Fatalf("ε-constrained[%d] = %v, want %v", i, desired[i], want[i])
+		}
+	}
+
+	// T0: 294 W processor budget (the surviving 480 W supply minus the
+	// 186 W non-CPU base).
+	actual, met, err := FitToBudget(decs, desired, tab, units.Watts(294))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		t.Fatal("294W budget not met")
+	}
+	total, err := TotalTablePower(actual, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total > units.Watts(294) {
+		t.Errorf("total %v exceeds budget", total)
+	}
+	for i := range actual {
+		if actual[i] > desired[i] {
+			t.Errorf("actual[%d]=%v above desired %v", i, actual[i], desired[i])
+		}
+	}
+	// Step 2 protects the CPU-bound processor (its steps cost the most)
+	// and sheds power from the saturated ones; losses stay bounded.
+	if actual[0] != units.GHz(1) {
+		t.Errorf("CPU-bound processor lowered to %v before the cheap ones", actual[0])
+	}
+	for i, d := range decs {
+		loss := d.PerfLoss(set.Max(), actual[i])
+		if loss < 0 || loss > 0.45 {
+			t.Errorf("loss[%d] = %v out of expected range", i, loss)
+		}
+		if i > 0 && loss == 0 {
+			t.Errorf("memory-bound processor %d shed nothing", i)
+		}
+	}
+
+	// T1: processor 0's workload turns memory-intensive; now everything
+	// fits at its ε-constrained frequency with power ≤ 282 W, and every
+	// aggregate loss is within ε — the paper's [ε,ε,ε,ε] vector.
+	memBound0 := dec(1.0, 12)
+	decs[0] = &memBound0
+	for i, d := range decs {
+		desired[i] = EpsilonFrequency(*d, set, 0.05)
+	}
+	if desired[0] != units.MHz(600) {
+		t.Fatalf("T1 ε-constrained[0] = %v, want 600MHz", desired[0])
+	}
+	actual, met, err = FitToBudget(decs, desired, tab, units.Watts(294))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		t.Fatal("T1 budget not met")
+	}
+	total, _ = TotalTablePower(actual, tab)
+	// Paper: [48, 66, 84, 84] W = 282 W.
+	if math.Abs(total.W()-282) > 1e-9 {
+		t.Errorf("T1 total = %v, want 282W", total)
+	}
+	for i, d := range decs {
+		if actual[i] != desired[i] {
+			t.Errorf("T1 actual[%d] = %v, want ε-constrained %v", i, actual[i], desired[i])
+		}
+		if loss := d.PerfLoss(set.Max(), actual[i]); loss >= 0.05 {
+			t.Errorf("T1 loss[%d] = %v, want < ε", i, loss)
+		}
+	}
+}
+
+func TestVoltages(t *testing.T) {
+	tab := power.Section5Table()
+	vs, err := Voltages([]units.Frequency{units.MHz(600), units.GHz(1)}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0] >= vs[1] {
+		t.Errorf("voltages = %v", vs)
+	}
+	if _, err := Voltages([]units.Frequency{units.MHz(123)}, tab); err == nil {
+		t.Error("off-grid voltage lookup accepted")
+	}
+}
+
+func TestFitToBudgetNeverRaisesFrequencies(t *testing.T) {
+	tab := power.PaperTable1()
+	set := tab.Frequencies()
+	err := quick.Check(func(raw []uint8, budgetRaw uint16) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		assigned := make([]units.Frequency, len(raw))
+		decs := make([]*perfmodel.Decomposition, len(raw))
+		for i, r := range raw {
+			assigned[i] = set[int(r)%len(set)]
+			d := dec(1.0+float64(r%10)/10, float64(r%16))
+			decs[i] = &d
+		}
+		budget := units.Watts(float64(budgetRaw%600) + 9)
+		out, met, err := FitToBudget(decs, assigned, tab, budget)
+		if err != nil {
+			return false
+		}
+		for i := range out {
+			if out[i] > assigned[i] {
+				return false
+			}
+		}
+		if met {
+			total, err := TotalTablePower(out, tab)
+			if err != nil || total > budget {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinEpsilonFor(t *testing.T) {
+	// §5 coarse set: the largest relative step is 100 MHz at 700 MHz.
+	got := MinEpsilonFor(sec5Set())
+	if math.Abs(got-100.0/700.0) > 1e-9 {
+		t.Errorf("MinEpsilonFor = %v, want %v", got, 100.0/700.0)
+	}
+	// Table 1's 50 MHz grid: largest step is 50/300.
+	fine := MinEpsilonFor(power.PaperTable1().Frequencies())
+	if math.Abs(fine-50.0/300.0) > 1e-9 {
+		t.Errorf("fine MinEpsilonFor = %v", fine)
+	}
+}

@@ -1,0 +1,235 @@
+package fvsst
+
+import (
+	"errors"
+
+	"repro/internal/machine"
+	"repro/internal/power"
+	"repro/internal/telemetry"
+	"repro/internal/units"
+)
+
+// ErrCascade is returned by Driver.Step when the power plant cascade-fails:
+// the machine stayed over the surviving supplies' capacity for longer than
+// their ΔT tolerance (§2). The simulation cannot meaningfully continue —
+// the machine has lost power.
+var ErrCascade = errors.New("fvsst: power plant cascade failure")
+
+// Driver couples the simulated machine with the scheduler the way the
+// prototype daemon coupled with the kernel: each dispatch quantum the
+// machine advances and the daemon collects counters; every n-th quantum
+// (and on budget or idle events) it reschedules. The daemon's own cost is
+// stolen from its host CPU.
+type Driver struct {
+	M *machine.Machine
+	S *Scheduler
+	// Budgets is the CPU-power budget over time; nil keeps the
+	// scheduler's initial budget forever.
+	Budgets *power.BudgetSchedule
+	// Plant, when non-nil, is fed the true system power each quantum and
+	// enforces the §2 cascade-failure rule; Step returns ErrCascade if the
+	// system overloads the surviving supplies for longer than ΔT.
+	Plant *power.Plant
+	// Recorder, when non-nil, receives per-quantum traces. TraceCPU
+	// selects the processor traced in the per-CPU series.
+	Recorder *telemetry.Recorder
+	TraceCPU int
+
+	prevIdle []bool
+	started  bool
+}
+
+// NewDriver wires a machine and scheduler together.
+func NewDriver(m *machine.Machine, s *Scheduler) *Driver {
+	return &Driver{M: m, S: s, TraceCPU: -1}
+}
+
+// Step advances the coupled system by one dispatch quantum.
+func (d *Driver) Step() error {
+	if !d.started {
+		d.prevIdle = make([]bool, d.M.NumCPUs())
+		for i := range d.prevIdle {
+			d.prevIdle[i] = d.M.IsIdle(i)
+		}
+		d.started = true
+		// Enforce the budget from the very first quantum: with no counter
+		// history every processor is treated as CPU-bound (desired f_max)
+		// and Step 2 clamps the assignment into the budget. Without this a
+		// short job could run to completion before the first timer pass.
+		if err := d.chargeSchedule(); err != nil {
+			return err
+		}
+		if _, err := d.S.Schedule("startup"); err != nil {
+			return err
+		}
+	}
+
+	d.M.Step()
+
+	// Trigger 1: a budget change takes effect the moment the simulation
+	// clock reaches it — checked right after the step so any decision
+	// made at this timestamp (timer or idle) sees the new limit.
+	if d.Budgets != nil {
+		want := d.Budgets.At(d.M.Now())
+		if want != d.S.Budget() {
+			if err := d.S.SetBudget(want); err != nil {
+				return err
+			}
+			if err := d.chargeSchedule(); err != nil {
+				return err
+			}
+			if _, err := d.S.Schedule("budget-change"); err != nil {
+				return err
+			}
+		}
+	}
+
+	if d.Plant != nil && d.Plant.Observe(d.M.Now(), d.M.SystemPower()) {
+		return ErrCascade
+	}
+
+	// The daemon collects after every quantum.
+	if err := d.chargeCollect(); err != nil {
+		return err
+	}
+	due, err := d.S.Collect()
+	if err != nil {
+		return err
+	}
+
+	// Trigger 3: idle transitions reschedule immediately when the idle
+	// signal is in use.
+	idleChanged := false
+	if d.S.Config().UseIdleSignal {
+		for i := 0; i < d.M.NumCPUs(); i++ {
+			cur := d.M.IsIdle(i)
+			if cur != d.prevIdle[i] {
+				idleChanged = true
+			}
+			d.prevIdle[i] = cur
+		}
+	}
+
+	switch {
+	case idleChanged:
+		if err := d.chargeSchedule(); err != nil {
+			return err
+		}
+		if _, err := d.S.Schedule("idle-transition"); err != nil {
+			return err
+		}
+	case due:
+		// Trigger 2: the periodic timer T = n·t.
+		if err := d.chargeSchedule(); err != nil {
+			return err
+		}
+		if _, err := d.S.Schedule("timer"); err != nil {
+			return err
+		}
+	}
+
+	d.record()
+	return nil
+}
+
+func (d *Driver) chargeCollect() error {
+	oh := d.S.Config().Overhead
+	if oh.CollectPerCPU <= 0 {
+		return nil
+	}
+	if oh.Distributed {
+		// §9 redesign: each CPU's collector thread reads its own counters.
+		for cpu := 0; cpu < d.M.NumCPUs(); cpu++ {
+			if err := d.M.StealTime(cpu, oh.CollectPerCPU); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cost := oh.CollectPerCPU * float64(d.M.NumCPUs())
+	return d.M.StealTime(oh.DaemonCPU, cost)
+}
+
+func (d *Driver) chargeSchedule() error {
+	oh := d.S.Config().Overhead
+	if oh.SchedulePass <= 0 {
+		return nil
+	}
+	if oh.Distributed {
+		n := d.M.NumCPUs()
+		share := oh.SchedulePass / float64(n)
+		for cpu := 0; cpu < n; cpu++ {
+			if err := d.M.StealTime(cpu, share); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return d.M.StealTime(oh.DaemonCPU, oh.SchedulePass)
+}
+
+// record emits per-quantum telemetry for the traced CPU and the machine.
+func (d *Driver) record() {
+	if d.Recorder == nil {
+		return
+	}
+	now := d.M.Now()
+	d.Recorder.Series("system-power-w").MustAppend(now, d.M.SystemPower().W())
+	d.Recorder.Series("cpu-power-w").MustAppend(now, d.M.TotalCPUPower().W())
+	d.Recorder.Series("budget-w").MustAppend(now, d.S.Budget().W())
+	if d.TraceCPU >= 0 && d.TraceCPU < d.M.NumCPUs() {
+		q := d.M.LastQuantum(d.TraceCPU)
+		ipc := 0.0
+		if q.Cycles > 0 {
+			ipc = float64(q.Instructions) / float64(q.Cycles)
+		}
+		d.Recorder.Series("ipc").MustAppend(now, ipc)
+		d.Recorder.Series("freq-mhz").MustAppend(now, d.M.EffectiveFrequency(d.TraceCPU).MHz())
+		if dec, ok := d.S.LastDecision(); ok {
+			a := dec.Assignments[d.TraceCPU]
+			d.Recorder.Series("desired-mhz").MustAppend(now, a.Desired.MHz())
+			d.Recorder.Series("actual-mhz").MustAppend(now, a.Actual.MHz())
+		}
+	}
+}
+
+// Run advances the coupled system until simulation time t.
+func (d *Driver) Run(until float64) error {
+	for d.M.Now() < until {
+		if err := d.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntilAllDone advances until every assigned job completes or the
+// deadline passes, returning whether all completed.
+func (d *Driver) RunUntilAllDone(deadline float64) (bool, error) {
+	for d.M.Now() < deadline {
+		if d.M.AllJobsDone() {
+			return true, nil
+		}
+		if err := d.Step(); err != nil {
+			return false, err
+		}
+	}
+	return d.M.AllJobsDone(), nil
+}
+
+// RunScenario is the one-call entry point most experiments use: build a
+// machine, a scheduler with the given CPU budget, couple them and run to
+// the deadline or completion.
+func RunScenario(m *machine.Machine, cfg Config, budget units.Power, deadline float64) (*Driver, error) {
+	s, err := New(cfg, m, budget)
+	if err != nil {
+		return nil, err
+	}
+	drv := NewDriver(m, s)
+	if _, err := drv.RunUntilAllDone(deadline); err != nil {
+		return nil, err
+	}
+	return drv, nil
+}
+
+var _ Target = (*machine.Machine)(nil)

@@ -1,0 +1,480 @@
+package fvsst
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/memhier"
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// Target is the hardware surface the scheduler controls: counter reads,
+// frequency actuation and the idle indicator. machine.Machine implements
+// it; on real hardware it would be the kernel's PMC and throttling
+// interfaces.
+type Target interface {
+	counters.Reader
+	SetFrequency(cpu int, f units.Frequency) error
+	EffectiveFrequency(cpu int) units.Frequency
+	IsIdle(cpu int) bool
+	Now() float64
+}
+
+// Overhead models the daemon's own cost (Figure 4): seconds charged per
+// counter collection per CPU and per scheduling pass, stolen from the CPU
+// the daemon runs on.
+type Overhead struct {
+	CollectPerCPU float64
+	SchedulePass  float64
+	// DaemonCPU is the processor the single-threaded daemon runs on.
+	DaemonCPU int
+	// Distributed models the §9 multi-threaded redesign ("two threads per
+	// processor: one collects the counters at user level, the other
+	// controls the throttling"): each CPU pays for its own collection and
+	// an equal share of the scheduling pass, instead of the single daemon
+	// CPU paying for everything.
+	Distributed bool
+}
+
+// DefaultOverhead approximates the unoptimised prototype: ~60 µs per
+// per-CPU counter read and ~400 µs per scheduling pass, totalling under 3%
+// of a CPU at T = 100 ms (§8.1).
+func DefaultOverhead() Overhead {
+	return Overhead{CollectPerCPU: 60e-6, SchedulePass: 400e-6, DaemonCPU: 0}
+}
+
+// Config parameterises the scheduler.
+type Config struct {
+	Table *power.Table
+	Hier  memhier.Hierarchy
+	// Epsilon is the acceptable predicted performance loss. It must
+	// exceed the minimum per-step loss of the frequency set or Step 1
+	// degenerates to f_max everywhere (§5).
+	Epsilon float64
+	// SamplePeriod is the dispatch/collection period t in seconds.
+	SamplePeriod float64
+	// SchedulePeriods is n: a scheduling pass runs every n collections
+	// (T = n·t).
+	SchedulePeriods int
+	// UseIdleSignal enables the firmware/OS idle indicator: idle
+	// processors go straight to the minimum frequency. Without it, a
+	// hot-idling processor looks CPU-bound and is scheduled at maximum
+	// frequency (§5, §7.1).
+	UseIdleSignal bool
+	// UseHaltedCycles treats a window that is >90% halted as idle, the
+	// alternative idle detection for halting processors.
+	UseHaltedCycles bool
+	// UseIdealFrequency replaces the Step 1 per-frequency scan with the
+	// closed-form f_ideal of §5.
+	UseIdealFrequency bool
+	// UseTwoPointCalibration enables the §4.3-footnote calibration: when
+	// the last two scheduling windows ran at different frequencies, the
+	// decomposition is derived from the two (frequency, CPI) points
+	// directly, without trusting the constant memory-latency assumption.
+	UseTwoPointCalibration bool
+	// LatencyBoundLo/Hi, when Hi > 0, enable the best/worst-case latency
+	// bounds of reference [17]: Step 1 uses the *worst-case* (low-latency-
+	// scale) decomposition for its ε-check, making frequency reductions
+	// conservative.
+	LatencyBoundLo float64
+	LatencyBoundHi float64
+	// DebouncePasses, when ≥ 2, requires a processor's ε-constrained
+	// frequency to repeat for that many consecutive passes before the
+	// scheduler actuates the change — a hysteresis knob that damps the
+	// one-step flutter borderline workloads produce under measurement
+	// noise (the same stability concern §6 addresses by making T a large
+	// multiple of t). Power-limit compliance always wins: downward moves
+	// demanded by Step 2 are never debounced.
+	DebouncePasses int
+	// VoltageTables optionally gives each processor its own voltage table
+	// for Step 3, for machines with significant process variation (§5:
+	// "the voltage table is different for each processor"). Length must
+	// equal the target's CPU count; nil uses Table for every processor.
+	VoltageTables []*power.Table
+	// Overhead is the daemon cost model; zero values disable it.
+	Overhead Overhead
+}
+
+// DefaultConfig returns the prototype's parameters: the Table 1 operating
+// points, ε = 5%, t = 10 ms, T = 100 ms (§8), idle signal off (the paper's
+// prototype lacks it, §7.1).
+func DefaultConfig() Config {
+	return Config{
+		Table:           power.PaperTable1(),
+		Hier:            memhier.P630(),
+		Epsilon:         0.05,
+		SamplePeriod:    0.010,
+		SchedulePeriods: 10,
+		Overhead:        DefaultOverhead(),
+	}
+}
+
+// Validate checks the configuration, including the ε-vs-frequency-step
+// constraint §5 imposes.
+func (c Config) Validate() error {
+	if c.Table == nil {
+		return fmt.Errorf("fvsst: operating-point table required")
+	}
+	if err := c.Hier.Validate(); err != nil {
+		return err
+	}
+	if c.Epsilon <= 0 || c.Epsilon >= 1 {
+		return fmt.Errorf("fvsst: epsilon %v out of (0,1)", c.Epsilon)
+	}
+	if c.SamplePeriod <= 0 {
+		return fmt.Errorf("fvsst: sample period %v must be positive", c.SamplePeriod)
+	}
+	if c.SchedulePeriods < 1 {
+		return fmt.Errorf("fvsst: schedule periods %d must be ≥ 1", c.SchedulePeriods)
+	}
+	if c.Overhead.CollectPerCPU < 0 || c.Overhead.SchedulePass < 0 {
+		return fmt.Errorf("fvsst: negative overhead")
+	}
+	if c.LatencyBoundHi != 0 {
+		if c.LatencyBoundLo <= 0 || c.LatencyBoundHi < c.LatencyBoundLo {
+			return fmt.Errorf("fvsst: latency bounds %v..%v invalid", c.LatencyBoundLo, c.LatencyBoundHi)
+		}
+	}
+	if c.DebouncePasses < 0 {
+		return fmt.Errorf("fvsst: DebouncePasses %d must be non-negative", c.DebouncePasses)
+	}
+	return nil
+}
+
+// MinEpsilonFor returns the smallest usable ε for a frequency set on a
+// pure-CPU workload: the relative size of the largest single frequency
+// step. An ε below this pins CPU-bound work at f_max (which is correct)
+// but also makes the ε bound unachievable for any lowering (§5: "its value
+// must be greater than the minimum performance step").
+func MinEpsilonFor(set units.FrequencySet) float64 {
+	worst := 0.0
+	for i := 1; i < len(set); i++ {
+		step := float64(set[i]-set[i-1]) / float64(set[i])
+		if step > worst {
+			worst = step
+		}
+	}
+	return worst
+}
+
+// Assignment is the scheduler's decision for one processor.
+type Assignment struct {
+	CPU int
+	// Desired is the Step 1 ε-constrained frequency (the paper's Figure 9
+	// "desired frequency").
+	Desired units.Frequency
+	// Actual is the frequency after the Step 2 budget fit — what the
+	// processor is set to.
+	Actual units.Frequency
+	// Voltage is the Step 3 minimum voltage for Actual.
+	Voltage units.Voltage
+	// PredictedLoss is the predicted performance loss at Actual versus
+	// f_max.
+	PredictedLoss float64
+	// PredictedIPC is the predicted IPC at Actual.
+	PredictedIPC float64
+	// ObservedIPC is the window's measured IPC (for the Table 2 study).
+	ObservedIPC float64
+	// Idle reports whether the processor was treated as idle.
+	Idle bool
+}
+
+// Decision is one complete scheduling pass.
+type Decision struct {
+	At          float64
+	Trigger     string
+	Budget      units.Power
+	TablePower  units.Power
+	BudgetMet   bool
+	Assignments []Assignment
+}
+
+// Scheduler is the fvsst daemon. It is single-threaded like the prototype:
+// Collect and Schedule are called from the simulation loop.
+type Scheduler struct {
+	cfg       Config
+	target    Target
+	sampler   *counters.Sampler
+	predictor perfmodel.Predictor
+	budget    units.Power
+	set       units.FrequencySet
+	decisions []Decision
+	collects  int
+	// prevObs holds the previous scheduling window per CPU for the
+	// two-point calibration mode.
+	prevObs   []perfmodel.Observation
+	prevValid []bool
+	// lastDesired/desireStreak back the debounce filter.
+	lastDesired  []units.Frequency
+	desireStreak []int
+}
+
+// New builds a scheduler over the target with an initial processor power
+// budget.
+func New(cfg Config, target Target, budget units.Power) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if target == nil {
+		return nil, fmt.Errorf("fvsst: nil target")
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("fvsst: budget %v must be positive", budget)
+	}
+	pred, err := perfmodel.New(cfg.Hier)
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := counters.NewSampler(target, 4*cfg.SchedulePeriods)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.VoltageTables != nil && len(cfg.VoltageTables) != target.NumCPUs() {
+		return nil, fmt.Errorf("fvsst: %d voltage tables for %d CPUs", len(cfg.VoltageTables), target.NumCPUs())
+	}
+	return &Scheduler{
+		cfg:          cfg,
+		target:       target,
+		sampler:      sampler,
+		predictor:    pred,
+		budget:       budget,
+		set:          cfg.Table.Frequencies(),
+		prevObs:      make([]perfmodel.Observation, target.NumCPUs()),
+		prevValid:    make([]bool, target.NumCPUs()),
+		lastDesired:  make([]units.Frequency, target.NumCPUs()),
+		desireStreak: make([]int, target.NumCPUs()),
+	}, nil
+}
+
+// Config returns the scheduler's configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Budget returns the current processor power budget.
+func (s *Scheduler) Budget() units.Power { return s.budget }
+
+// SetBudget changes the global power limit — trigger 1 of §5. It does not
+// itself reschedule; callers follow with Schedule("budget-change").
+func (s *Scheduler) SetBudget(p units.Power) error {
+	if p <= 0 {
+		return fmt.Errorf("fvsst: budget %v must be positive", p)
+	}
+	s.budget = p
+	return nil
+}
+
+// Collect samples the counters of every processor once (one dispatch
+// period t). It returns true when a scheduling pass is due (every n-th
+// collection).
+func (s *Scheduler) Collect() (due bool, err error) {
+	if err := s.sampler.Collect(); err != nil {
+		return false, err
+	}
+	s.collects++
+	return s.collects%s.cfg.SchedulePeriods == 0, nil
+}
+
+// observationFor builds the predictor observation for cpu from the last
+// scheduling window. ok is false when the window contains no usable work.
+func (s *Scheduler) observationFor(cpu int) (perfmodel.Observation, bool) {
+	delta := s.sampler.WindowAggregate(cpu, s.cfg.SchedulePeriods)
+	freqHz := delta.ObservedFrequencyHz()
+	if delta.Instructions == 0 || delta.Cycles == 0 || freqHz <= 0 {
+		return perfmodel.Observation{}, false
+	}
+	return perfmodel.Observation{Delta: delta, Freq: units.Frequency(freqHz)}, true
+}
+
+// decompose derives the cycle decomposition for one CPU's window,
+// honouring the configured calibration modes.
+func (s *Scheduler) decompose(cpu int, obs perfmodel.Observation) (perfmodel.Decomposition, error) {
+	defer func() {
+		s.prevObs[cpu] = obs
+		s.prevValid[cpu] = true
+	}()
+	if s.cfg.UseTwoPointCalibration && s.prevValid[cpu] {
+		prev := s.prevObs[cpu]
+		// Two usable points need meaningfully distinct frequencies or the
+		// slope estimate blows up on noise.
+		if prev.Freq > 0 && relDiff(prev.Freq.Hz(), obs.Freq.Hz()) > 0.02 {
+			if dec, err := perfmodel.CalibrateTwoPoint(prev, obs); err == nil {
+				return dec, nil
+			}
+			// Fall through to the single-point model on calibration error.
+		}
+	}
+	if s.cfg.LatencyBoundHi > 0 {
+		b, err := s.predictor.DecomposeWithBounds(obs, s.cfg.LatencyBoundLo, s.cfg.LatencyBoundHi)
+		if err != nil {
+			return perfmodel.Decomposition{}, err
+		}
+		// Worst case for scaling down: assume latencies at the low end of
+		// the band, i.e. the workload is less memory-bound than nominal.
+		return b.Worst, nil
+	}
+	return s.predictor.Decompose(obs)
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if b > m {
+		m = b
+	}
+	if m == 0 {
+		return 0
+	}
+	return d / m
+}
+
+// isIdle decides whether cpu should be treated as idle under the
+// configured detection mechanisms.
+func (s *Scheduler) isIdle(cpu int) bool {
+	if s.cfg.UseIdleSignal && s.target.IsIdle(cpu) {
+		return true
+	}
+	if s.cfg.UseHaltedCycles {
+		delta := s.sampler.WindowAggregate(cpu, s.cfg.SchedulePeriods)
+		if delta.HaltedFraction() > 0.9 {
+			return true
+		}
+	}
+	return false
+}
+
+// Schedule runs one full pass of the Figure 3 algorithm and actuates the
+// result. trigger labels the cause in the decision log ("timer",
+// "budget-change", "idle-transition").
+func (s *Scheduler) Schedule(trigger string) (Decision, error) {
+	n := s.target.NumCPUs()
+	desired := make([]units.Frequency, n)
+	decs := make([]*perfmodel.Decomposition, n)
+	observed := make([]float64, n)
+	idle := make([]bool, n)
+
+	// Step 1: ε-constrained frequency per processor.
+	for cpu := 0; cpu < n; cpu++ {
+		if s.isIdle(cpu) {
+			idle[cpu] = true
+			desired[cpu] = s.set.Min()
+			continue
+		}
+		obs, ok := s.observationFor(cpu)
+		if !ok {
+			// No usable window (just started, or fully throttled):
+			// schedule conservatively at maximum.
+			desired[cpu] = s.set.Max()
+			continue
+		}
+		dec, err := s.decompose(cpu, obs)
+		if err != nil {
+			return Decision{}, fmt.Errorf("fvsst: cpu %d: %w", cpu, err)
+		}
+		decs[cpu] = &dec
+		observed[cpu] = obs.Delta.IPC()
+		if s.cfg.UseIdealFrequency {
+			f, err := IdealEpsilonFrequency(dec, s.set, s.cfg.Epsilon)
+			if err != nil {
+				return Decision{}, err
+			}
+			desired[cpu] = f
+		} else {
+			desired[cpu] = EpsilonFrequency(dec, s.set, s.cfg.Epsilon)
+		}
+	}
+
+	// Debounce: a new ε-constrained frequency must persist for k passes
+	// before the scheduler acts on it; until then the processor holds its
+	// current setting. Step 2's forced downward moves are applied after
+	// this filter and are never debounced.
+	if k := s.cfg.DebouncePasses; k >= 2 {
+		for cpu := range desired {
+			if desired[cpu] == s.lastDesired[cpu] {
+				s.desireStreak[cpu]++
+			} else {
+				s.lastDesired[cpu] = desired[cpu]
+				s.desireStreak[cpu] = 1
+			}
+			cur := s.set.ClampTo(s.target.EffectiveFrequency(cpu))
+			if desired[cpu] != cur && s.desireStreak[cpu] < k {
+				desired[cpu] = cur
+			}
+		}
+	}
+
+	// Step 2: fit the aggregate power to the budget.
+	actual, met, err := FitToBudget(decs, desired, s.cfg.Table, s.budget)
+	if err != nil {
+		return Decision{}, err
+	}
+
+	// Step 3: voltages — per-CPU tables when the machine has process
+	// variation, otherwise the shared table.
+	volts := make([]units.Voltage, n)
+	for cpu := 0; cpu < n; cpu++ {
+		vt := s.cfg.Table
+		if s.cfg.VoltageTables != nil {
+			vt = s.cfg.VoltageTables[cpu]
+		}
+		v, err := vt.MinVoltage(actual[cpu])
+		if err != nil {
+			return Decision{}, fmt.Errorf("fvsst: voltage for cpu %d: %w", cpu, err)
+		}
+		volts[cpu] = v
+	}
+
+	// Actuate and log.
+	assignments := make([]Assignment, n)
+	for cpu := 0; cpu < n; cpu++ {
+		if err := s.target.SetFrequency(cpu, actual[cpu]); err != nil {
+			return Decision{}, fmt.Errorf("fvsst: actuate cpu %d: %w", cpu, err)
+		}
+		a := Assignment{
+			CPU:     cpu,
+			Desired: desired[cpu],
+			Actual:  actual[cpu],
+			Voltage: volts[cpu],
+			Idle:    idle[cpu],
+		}
+		if decs[cpu] != nil {
+			a.PredictedLoss = decs[cpu].PerfLoss(s.set.Max(), actual[cpu])
+			a.PredictedIPC = decs[cpu].IPCAt(actual[cpu])
+			a.ObservedIPC = observed[cpu]
+		}
+		assignments[cpu] = a
+	}
+	tablePower, err := TotalTablePower(actual, s.cfg.Table)
+	if err != nil {
+		return Decision{}, err
+	}
+	d := Decision{
+		At:          s.target.Now(),
+		Trigger:     trigger,
+		Budget:      s.budget,
+		TablePower:  tablePower,
+		BudgetMet:   met,
+		Assignments: assignments,
+	}
+	s.decisions = append(s.decisions, d)
+	return d, nil
+}
+
+// Decisions returns the full decision log.
+func (s *Scheduler) Decisions() []Decision {
+	out := make([]Decision, len(s.decisions))
+	copy(out, s.decisions)
+	return out
+}
+
+// LastDecision returns the most recent decision and true, or false when no
+// pass has run yet.
+func (s *Scheduler) LastDecision() (Decision, bool) {
+	if len(s.decisions) == 0 {
+		return Decision{}, false
+	}
+	return s.decisions[len(s.decisions)-1], true
+}

@@ -1,0 +1,126 @@
+package fvsst
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// §5 notes the two-pass structure is a presentation choice: "it is
+// possible to implement in a single pass scheduler". SinglePassAssign is
+// that implementation: one sweep over the processors computes the
+// ε-constrained choice, the running power total and each processor's
+// next-reduction cost, and a min-heap then pops the cheapest reductions
+// until the budget is met — O(P·F + R·log P) instead of the didactic
+// two-pass version's O(P·F + R·P), where R is the number of reductions.
+// The property tests assert it always produces an assignment with the
+// same total predicted loss as FitToBudget (tie order may differ).
+
+// reduction is one processor's next available downward step.
+type reduction struct {
+	cpu  int
+	next units.Frequency
+	loss float64
+	// saving is the table power recovered by taking the step.
+	saving units.Power
+}
+
+type reductionHeap []reduction
+
+func (h reductionHeap) Len() int            { return len(h) }
+func (h reductionHeap) Less(i, j int) bool  { return h[i].loss < h[j].loss }
+func (h reductionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *reductionHeap) Push(x interface{}) { *h = append(*h, x.(reduction)) }
+func (h *reductionHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SinglePassAssign computes the full frequency assignment (Steps 1+2) in
+// one sweep plus a heap drain. decs may contain nil entries for idle or
+// unobserved processors: idle[i] processors go to the set minimum, nil
+// non-idle ones to the maximum, exactly as the Scheduler does.
+func SinglePassAssign(decs []*perfmodel.Decomposition, idle []bool, table *power.Table, budget units.Power, epsilon float64) ([]units.Frequency, bool, error) {
+	if len(decs) != len(idle) {
+		return nil, false, fmt.Errorf("fvsst: %d decompositions for %d idle flags", len(decs), len(idle))
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return nil, false, fmt.Errorf("fvsst: epsilon %v out of (0,1)", epsilon)
+	}
+	set := table.Frequencies()
+	out := make([]units.Frequency, len(decs))
+	var total units.Power
+
+	h := make(reductionHeap, 0, len(decs))
+	for i, d := range decs {
+		switch {
+		case idle[i]:
+			out[i] = set.Min()
+		case d == nil:
+			out[i] = set.Max()
+		default:
+			out[i] = EpsilonFrequency(*d, set, epsilon)
+		}
+		p, err := table.PowerAt(out[i])
+		if err != nil {
+			return nil, false, err
+		}
+		total += p
+		if r, ok := nextReduction(decs[i], i, out[i], table, set); ok {
+			h = append(h, r)
+		}
+	}
+	heap.Init(&h)
+
+	for total > budget && h.Len() > 0 {
+		r := heap.Pop(&h).(reduction)
+		out[r.cpu] = r.next
+		total -= r.saving
+		if nr, ok := nextReduction(decs[r.cpu], r.cpu, r.next, table, set); ok {
+			heap.Push(&h, nr)
+		}
+	}
+	return out, total <= budget, nil
+}
+
+// nextReduction builds the heap entry for lowering cpu one step below f,
+// or ok=false at the set floor.
+func nextReduction(d *perfmodel.Decomposition, cpu int, f units.Frequency, table *power.Table, set units.FrequencySet) (reduction, bool) {
+	next, ok := set.NextBelow(f)
+	if !ok {
+		return reduction{}, false
+	}
+	pCur, err := table.PowerAt(f)
+	if err != nil {
+		return reduction{}, false
+	}
+	pNext, err := table.PowerAt(next)
+	if err != nil {
+		return reduction{}, false
+	}
+	loss := 0.0
+	if d != nil {
+		loss = d.PerfLoss(set.Max(), next)
+	}
+	return reduction{cpu: cpu, next: next, loss: loss, saving: pCur - pNext}, true
+}
+
+// TotalPredictedLoss sums each busy processor's predicted loss versus the
+// set maximum under an assignment — the objective both formulations
+// greedily minimise.
+func TotalPredictedLoss(decs []*perfmodel.Decomposition, assigned []units.Frequency, set units.FrequencySet) float64 {
+	var sum float64
+	for i, f := range assigned {
+		if decs[i] == nil {
+			continue
+		}
+		sum += decs[i].PerfLoss(set.Max(), f)
+	}
+	return sum
+}

@@ -1,0 +1,138 @@
+package fvsst
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+func TestSinglePassValidation(t *testing.T) {
+	tab := power.PaperTable1()
+	if _, _, err := SinglePassAssign(make([]*perfmodel.Decomposition, 2), []bool{false}, tab, units.Watts(100), 0.05); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := SinglePassAssign(nil, nil, tab, units.Watts(100), 0); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+func TestSinglePassMatchesWorkedExample(t *testing.T) {
+	tab := power.Section5Table()
+	decs := []*perfmodel.Decomposition{
+		dec2(1.0, 12), dec2(1.1, 8.44), dec2(1.2, 5.2), dec2(1.2, 5.2),
+	}
+	idle := make([]bool, 4)
+	out, met, err := SinglePassAssign(decs, idle, tab, units.Watts(294), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		t.Fatal("budget not met")
+	}
+	// The T1 configuration of the §5 example: everything fits at its
+	// ε-constrained frequency, 282 W.
+	want := []units.Frequency{units.MHz(600), units.MHz(700), units.MHz(800), units.MHz(800)}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("cpu %d = %v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func dec2(alpha, stallNs float64) *perfmodel.Decomposition {
+	return &perfmodel.Decomposition{InvAlpha: 1 / alpha, StallSecPerInstr: stallNs * 1e-9}
+}
+
+// TestSinglePassEquivalentToTwoPass: across random processor populations
+// and budgets, the heap formulation meets the budget whenever the two-pass
+// one does and accumulates exactly the same total predicted loss (tie
+// order may reshuffle individual assignments).
+func TestSinglePassEquivalentToTwoPass(t *testing.T) {
+	tab := power.PaperTable1()
+	set := tab.Frequencies()
+	err := quick.Check(func(raw []uint16, budgetRaw uint16) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		decs := make([]*perfmodel.Decomposition, len(raw))
+		idle := make([]bool, len(raw))
+		desired := make([]units.Frequency, len(raw))
+		for i, r := range raw {
+			switch r % 5 {
+			case 0:
+				idle[i] = true
+				desired[i] = set.Min()
+			case 1:
+				desired[i] = set.Max() // no data
+			default:
+				d := dec2(0.6+float64(r%20)/10, float64(r%140)/10)
+				decs[i] = d
+				desired[i] = EpsilonFrequency(*d, set, 0.05)
+			}
+		}
+		budget := units.Watts(float64(budgetRaw%2000) + 9)
+
+		two, metTwo, err := FitToBudget(decs, desired, tab, budget)
+		if err != nil {
+			return false
+		}
+		one, metOne, err := SinglePassAssign(decs, idle, tab, budget, 0.05)
+		if err != nil {
+			return false
+		}
+		if metTwo != metOne {
+			return false
+		}
+		lossTwo := TotalPredictedLoss(decs, two, set)
+		lossOne := TotalPredictedLoss(decs, one, set)
+		if math.Abs(lossTwo-lossOne) > 1e-9 {
+			return false
+		}
+		if metOne {
+			pOne, err := TotalTablePower(one, tab)
+			if err != nil || pOne > budget {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkTwoPassVsSinglePass quantifies the §5 remark: the heap
+// formulation scales better with processor count under deep budget cuts.
+func BenchmarkTwoPassFit(b *testing.B)    { benchFit(b, false) }
+func BenchmarkSinglePassFit(b *testing.B) { benchFit(b, true) }
+
+func benchFit(b *testing.B, single bool) {
+	tab := power.PaperTable1()
+	set := tab.Frequencies()
+	const n = 64
+	decs := make([]*perfmodel.Decomposition, n)
+	idle := make([]bool, n)
+	desired := make([]units.Frequency, n)
+	for i := range decs {
+		d := dec2(0.8+float64(i%15)/10, float64(i%12))
+		decs[i] = d
+		desired[i] = EpsilonFrequency(*d, set, 0.05)
+	}
+	budget := units.Watts(n * 20) // deep cut: many reductions needed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if single {
+			if _, _, err := SinglePassAssign(decs, idle, tab, budget, 0.05); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, _, err := FitToBudget(decs, desired, tab, budget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

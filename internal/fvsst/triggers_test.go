@@ -1,0 +1,95 @@
+package fvsst
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestIdleTransitionTrigger: with the idle signal enabled, a job finishing
+// mid-period triggers an immediate "idle-transition" decision that parks
+// the processor, without waiting for the next timer pass.
+func TestIdleTransitionTrigger(t *testing.T) {
+	m := quietMachine(t)
+	// A job sized to finish at ≈0.23 s, i.e. mid-way between the timer
+	// passes at 0.2 and 0.3 s.
+	mix, err := workload.NewMix(workload.Program{Name: "short", Phases: []workload.Phase{
+		{Name: "c", Alpha: 1.4, Instructions: 320e6},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetMix(2, mix); err != nil {
+		t.Fatal(err)
+	}
+	cfg := noOverheadConfig()
+	cfg.UseIdleSignal = true
+	s, err := New(cfg, m, units.Watts(560))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewDriver(m, s)
+	if err := drv.Run(0.4); err != nil {
+		t.Fatal(err)
+	}
+	var transition *Decision
+	for i, d := range s.Decisions() {
+		if d.Trigger == "idle-transition" {
+			transition = &s.Decisions()[i]
+			break
+		}
+	}
+	if transition == nil {
+		t.Fatal("no idle-transition decision")
+	}
+	// It fired within two quanta of the job's completion...
+	comps := m.Completions()
+	if len(comps) != 1 {
+		t.Fatalf("completions = %d", len(comps))
+	}
+	if dt := transition.At - comps[0].At; dt < 0 || dt > 0.021 {
+		t.Errorf("idle transition %.3fs after completion", dt)
+	}
+	// ...and parked the processor.
+	if a := transition.Assignments[2]; !a.Idle || a.Actual != units.MHz(250) {
+		t.Errorf("transition decision did not park cpu2: %+v", a)
+	}
+}
+
+// TestBudgetChangePreemptsTimer: when a budget event and a timer pass land
+// on the same quantum, the budget change is handled first (the safety-
+// critical ordering of Driver.Step).
+func TestBudgetChangePreemptsTimer(t *testing.T) {
+	m := quietMachine(t)
+	for cpu := 0; cpu < 4; cpu++ {
+		mix, _ := workload.NewMix(cpuProgram("cpu", 1e12))
+		m.SetMix(cpu, mix)
+	}
+	s, err := New(noOverheadConfig(), m, units.Watts(560))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event at exactly a multiple of T = 100 ms.
+	budgets, err := power.NewBudgetSchedule(units.Watts(560),
+		power.BudgetEvent{At: 0.2, Budget: units.Watts(294)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv := NewDriver(m, s)
+	drv.Budgets = budgets
+	if err := drv.Run(0.35); err != nil {
+		t.Fatal(err)
+	}
+	decs := s.Decisions()
+	for i := 1; i < len(decs); i++ {
+		if decs[i].Trigger == "timer" && decs[i].Budget.W() == 560 && decs[i].At > 0.2 {
+			t.Errorf("timer decision at %.2fs still on the old budget", decs[i].At)
+		}
+	}
+	// Power is under the new limit at the end.
+	if got := m.TotalCPUPower(); got > units.Watts(295) {
+		t.Errorf("power %v over the new budget", got)
+	}
+}

@@ -1,0 +1,599 @@
+// Package machine is the simulated SMP node that stands in for the paper's
+// 4-way Power4+ pSeries p630. It executes workload programs in dispatch
+// quanta, maintains per-processor performance counters, actuates frequency
+// through the throttle model, accounts power from the operating-point
+// table, and exposes exactly the observation/actuation surface the fvsst
+// daemon had on real hardware:
+//
+//   - counters.Reader (read the PMCs of every CPU),
+//   - SetFrequency (throttle a CPU to an effective frequency),
+//   - IsIdle (the firmware idle indicator of §5),
+//   - measured total power.
+//
+// The ground-truth execution model deliberately includes effects the
+// predictor cannot see — non-memory stalls, shared-L2 contention between
+// core pairs, and memory-latency jitter — because those gaps are what
+// produce the predictor error the paper quantifies in Table 2.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/counters"
+	"repro/internal/memhier"
+	"repro/internal/power"
+	"repro/internal/throttle"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// IdleMode selects how a processor with no runnable work behaves.
+type IdleMode int
+
+const (
+	// IdleHot runs the Power4+'s tight CPU-intensive idle loop (IPC ≈
+	// 1.3), which looks like real work to the counters — the pathology
+	// that motivates the idle indicator (§5, §7.1).
+	IdleHot IdleMode = iota
+	// IdleHalt models a processor that halts when idle and counts halted
+	// cycles, making an explicit idle indicator unnecessary.
+	IdleHalt
+)
+
+// Config describes the machine to simulate.
+type Config struct {
+	Name    string
+	NumCPUs int
+	Hier    memhier.Hierarchy
+	// Table is the operating-point table (frequency/voltage/power) the
+	// machine's power draw follows.
+	Table *power.Table
+	// Quantum is the dispatch period t in seconds (10 ms on the paper's
+	// Linux 2.6 platform; smaller values interfere with the OS quantum).
+	Quantum float64
+	// ThrottleKind/Steps/Settle configure the frequency actuator.
+	ThrottleKind   throttle.Kind
+	ThrottleSteps  int
+	ThrottleSettle float64
+	// Idle selects hot-loop or halting idle.
+	Idle IdleMode
+	// Contention configures shared-L2 interference between core pairs.
+	Contention memhier.Contention
+	// ContentionSatRefs is the post-L1 reference rate (refs/s) at which a
+	// partner core saturates the shared L2.
+	ContentionSatRefs float64
+	// LatencyJitterSigma is the per-quantum relative σ of true memory
+	// latency around nominal. The predictor assumes constant latency.
+	LatencyJitterSigma float64
+	// MonteCarloExec switches execution from the closed-form analytic CPI
+	// to per-block stochastic reference draws (see montecarlo.go): slower
+	// but with execution variance emerging from miss discreteness.
+	MonteCarloExec bool
+	// NonCPU is the constant non-processor system power.
+	NonCPU units.Power
+	// MeterNoiseSigma is the relative noise of the system power sensor.
+	MeterNoiseSigma float64
+	Seed            int64
+}
+
+// P630Config returns the paper's experimental platform: 4 CPUs, the Table 1
+// operating points, fetch throttling, 10 ms dispatch quanta, hot idle, and
+// the §2 system power breakdown.
+func P630Config() Config {
+	return Config{
+		Name:               "p630",
+		NumCPUs:            4,
+		Hier:               memhier.P630(),
+		Table:              power.PaperTable1(),
+		Quantum:            0.010,
+		ThrottleKind:       throttle.Fetch,
+		ThrottleSteps:      100,
+		ThrottleSettle:     0.0005,
+		Idle:               IdleHot,
+		Contention:         memhier.Contention{MaxInflation: 1.25},
+		ContentionSatRefs:  5e6,
+		LatencyJitterSigma: 0.03,
+		NonCPU:             power.MotivatingSystem().Base,
+		MeterNoiseSigma:    0.01,
+		Seed:               1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumCPUs <= 0 {
+		return fmt.Errorf("machine: NumCPUs %d must be positive", c.NumCPUs)
+	}
+	if err := c.Hier.Validate(); err != nil {
+		return err
+	}
+	if c.Table == nil {
+		return fmt.Errorf("machine: operating-point table required")
+	}
+	if c.Quantum <= 0 {
+		return fmt.Errorf("machine: quantum %v must be positive", c.Quantum)
+	}
+	if c.ThrottleSteps < 1 {
+		return fmt.Errorf("machine: throttle steps %d must be ≥ 1", c.ThrottleSteps)
+	}
+	if c.LatencyJitterSigma < 0 || c.LatencyJitterSigma > 0.5 {
+		return fmt.Errorf("machine: latency jitter %v out of [0,0.5]", c.LatencyJitterSigma)
+	}
+	if c.NonCPU < 0 {
+		return fmt.Errorf("machine: non-CPU power %v must be non-negative", c.NonCPU)
+	}
+	return nil
+}
+
+// JobCompletion records one program finishing on a CPU.
+type JobCompletion struct {
+	CPU     int
+	Program string
+	// At is the simulation time of completion in seconds.
+	At float64
+}
+
+// QuantumStats summarises what one CPU did in the latest quantum.
+type QuantumStats struct {
+	Freq         units.Frequency
+	Instructions uint64
+	Cycles       uint64
+	Idle         bool
+	// PostL1Rate is the post-L1 reference rate in refs/s, used for
+	// contention coupling and diagnostics.
+	PostL1Rate float64
+}
+
+type cpu struct {
+	mix         *workload.Mix
+	throt       *throttle.Throttle
+	totals      counters.Sample
+	stolenDebt  float64 // seconds of daemon time to steal from upcoming quanta
+	idleNow     bool
+	idleCursor  *workload.Cursor
+	last        QuantumStats
+	completions int
+	// busySeconds accumulates quanta spent with runnable work (for
+	// utilisation reporting).
+	busySeconds float64
+}
+
+// Machine is the running simulator. It is not safe for concurrent use; the
+// simulation is single-threaded by design (deterministic).
+type Machine struct {
+	cfg    Config
+	cpus   []*cpu
+	now    float64
+	rng    *rand.Rand
+	meter  *power.Meter
+	energy power.EnergyMeter
+	// cpuEnergy integrates processor-only energy, the quantity Table 3
+	// normalises.
+	cpuEnergy   power.EnergyMeter
+	completions []JobCompletion
+	// arrivals holds future job submissions (open workloads), time-sorted.
+	arrivals workload.Schedule
+}
+
+// New builds a machine from the configuration. Every CPU starts at nominal
+// frequency running nothing (idle).
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	meter, err := power.NewMeter(cfg.MeterNoiseSigma, cfg.Seed+1000)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		meter: meter,
+	}
+	for i := 0; i < cfg.NumCPUs; i++ {
+		th, err := throttle.New(cfg.ThrottleKind, cfg.Table.MaxFrequency(), cfg.ThrottleSteps, cfg.ThrottleSettle)
+		if err != nil {
+			return nil, err
+		}
+		idleCur, err := workload.NewCursor(workload.HotIdle())
+		if err != nil {
+			return nil, err
+		}
+		m.cpus = append(m.cpus, &cpu{throt: th, idleCursor: idleCur, idleNow: true})
+	}
+	return m, nil
+}
+
+// Now returns the simulation time in seconds.
+func (m *Machine) Now() float64 { return m.now }
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// NumCPUs implements counters.Reader.
+func (m *Machine) NumCPUs() int { return len(m.cpus) }
+
+// ReadCounters implements counters.Reader: an exact read of the CPU's
+// monotonic counters at the current simulation time.
+func (m *Machine) ReadCounters(i int) (counters.Sample, error) {
+	if i < 0 || i >= len(m.cpus) {
+		return counters.Sample{}, fmt.Errorf("machine: cpu %d out of range", i)
+	}
+	s := m.cpus[i].totals
+	s.Time = m.now
+	return s, nil
+}
+
+// SetMix assigns the multiprogrammed workload of CPU i. A nil mix leaves
+// the CPU idle.
+func (m *Machine) SetMix(i int, mix *workload.Mix) error {
+	if i < 0 || i >= len(m.cpus) {
+		return fmt.Errorf("machine: cpu %d out of range", i)
+	}
+	m.cpus[i].mix = mix
+	return nil
+}
+
+// Mix returns the workload of CPU i (nil when idle).
+func (m *Machine) Mix(i int) *workload.Mix { return m.cpus[i].mix }
+
+// SetFrequency requests an effective frequency for CPU i, actuated through
+// the throttle (quantisation and settling apply).
+func (m *Machine) SetFrequency(i int, f units.Frequency) error {
+	if i < 0 || i >= len(m.cpus) {
+		return fmt.Errorf("machine: cpu %d out of range", i)
+	}
+	_, err := m.cpus[i].throt.Request(m.now, f)
+	return err
+}
+
+// EffectiveFrequency returns the frequency CPU i currently runs at.
+func (m *Machine) EffectiveFrequency(i int) units.Frequency {
+	return m.cpus[i].throt.Effective(m.now)
+}
+
+// IsIdle reports whether CPU i currently has no runnable work — the signal
+// the firmware/OS idle indicator of §5 would deliver. It is computed live
+// (not from the last quantum) so a freshly assigned mix immediately clears
+// the idle state.
+func (m *Machine) IsIdle(i int) bool {
+	c := m.cpus[i]
+	return c.mix == nil || c.mix.Done()
+}
+
+// StealTime charges the fvsst daemon's own execution time against CPU i:
+// the seconds are deducted from the CPU's upcoming quanta, modelling the
+// prototype's measured overhead (Figure 4).
+func (m *Machine) StealTime(i int, seconds float64) error {
+	if i < 0 || i >= len(m.cpus) {
+		return fmt.Errorf("machine: cpu %d out of range", i)
+	}
+	if seconds < 0 {
+		return fmt.Errorf("machine: cannot steal negative time")
+	}
+	m.cpus[i].stolenDebt += seconds
+	return nil
+}
+
+// CPUPower returns the table power of CPU i at its current effective
+// frequency. Frequency zero means the processor is powered off entirely
+// (the power-down policy) and draws nothing, matching
+// baseline.AssignmentPower's convention; any non-zero frequency is floored
+// at the table's lowest operating point.
+func (m *Machine) CPUPower(i int) units.Power {
+	f := m.EffectiveFrequency(i)
+	if f == 0 {
+		return 0
+	}
+	p, err := m.cfg.Table.PowerInterp(f)
+	if err != nil {
+		// Effective frequency can never exceed the table's nominal max, so
+		// interpolation cannot fail; keep the invariant loud.
+		panic(fmt.Sprintf("machine: power lookup at %v: %v", f, err))
+	}
+	return p
+}
+
+// TotalCPUPower returns the aggregate processor power.
+func (m *Machine) TotalCPUPower() units.Power {
+	var total units.Power
+	for i := range m.cpus {
+		total += m.CPUPower(i)
+	}
+	return total
+}
+
+// SystemPower returns the true total system power (CPUs + non-CPU base).
+func (m *Machine) SystemPower() units.Power {
+	return m.cfg.NonCPU + m.TotalCPUPower()
+}
+
+// MeasuredSystemPower returns a sensor reading of system power, with noise.
+func (m *Machine) MeasuredSystemPower() units.Power {
+	return m.meter.Read(m.SystemPower())
+}
+
+// Energy returns the integrated total system energy so far.
+func (m *Machine) Energy() units.Energy { return m.energy.Total() }
+
+// CPUEnergy returns the integrated processor-only energy so far, the
+// quantity the paper's Table 3 reports (normalised by the caller).
+func (m *Machine) CPUEnergy() units.Energy { return m.cpuEnergy.Total() }
+
+// Completions returns every job completion recorded so far.
+func (m *Machine) Completions() []JobCompletion {
+	out := make([]JobCompletion, len(m.completions))
+	copy(out, m.completions)
+	return out
+}
+
+// LastQuantum returns what CPU i did during the most recent Step.
+func (m *Machine) LastQuantum(i int) QuantumStats { return m.cpus[i].last }
+
+// BusySeconds returns how long CPU i has had runnable work, in simulated
+// seconds (quantum granularity).
+func (m *Machine) BusySeconds(i int) float64 { return m.cpus[i].busySeconds }
+
+// Utilization returns CPU i's busy fraction of the elapsed simulation, or
+// 0 before any quantum ran.
+func (m *Machine) Utilization(i int) float64 {
+	if m.now == 0 {
+		return 0
+	}
+	return m.cpus[i].busySeconds / m.now
+}
+
+// AllJobsDone reports whether every assigned mix has completed (idle CPUs
+// with no mix count as done). A machine with pending arrivals is not done.
+func (m *Machine) AllJobsDone() bool {
+	if len(m.arrivals) > 0 {
+		return false
+	}
+	for _, c := range m.cpus {
+		if c.mix != nil && !c.mix.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Submit schedules jobs to arrive at their times — the open-workload model
+// of a server node. Arrivals whose time has already passed join
+// immediately at the next Step. Each arrival's CPU must be in range.
+func (m *Machine) Submit(arrivals workload.Schedule) error {
+	if err := arrivals.Validate(); err != nil {
+		return err
+	}
+	for _, a := range arrivals {
+		if a.CPU >= len(m.cpus) {
+			return fmt.Errorf("machine: arrival cpu %d out of range", a.CPU)
+		}
+	}
+	m.arrivals = append(m.arrivals, arrivals...)
+	m.arrivals = m.arrivals.Sorted()
+	return nil
+}
+
+// PendingArrivals returns how many submitted jobs have not yet arrived.
+func (m *Machine) PendingArrivals() int { return len(m.arrivals) }
+
+// admitArrivals moves matured arrivals into their CPUs' mixes.
+func (m *Machine) admitArrivals() {
+	for len(m.arrivals) > 0 && m.arrivals[0].At <= m.now {
+		a := m.arrivals[0]
+		m.arrivals = m.arrivals[1:]
+		c := m.cpus[a.CPU]
+		if c.mix == nil {
+			mix, err := workload.NewMix(a.Program)
+			if err != nil {
+				panic(fmt.Sprintf("machine: admit arrival: %v", err)) // validated at Submit
+			}
+			c.mix = mix
+			continue
+		}
+		if err := c.mix.Add(a.Program); err != nil {
+			panic(fmt.Sprintf("machine: admit arrival: %v", err))
+		}
+	}
+}
+
+// Step advances the simulation by one dispatch quantum on every CPU.
+func (m *Machine) Step() {
+	m.admitArrivals()
+	dt := m.cfg.Quantum
+	// Contention couples through the *previous* quantum's traffic so each
+	// step remains an explicit (non-fixed-point) update.
+	prevRates := make([]float64, len(m.cpus))
+	for i, c := range m.cpus {
+		prevRates[i] = c.last.PostL1Rate
+	}
+	for i, c := range m.cpus {
+		m.stepCPU(i, c, dt, m.partnerRate(i, prevRates))
+	}
+	// Integrate energy at the post-actuation operating points.
+	cpuP := m.TotalCPUPower()
+	if err := m.cpuEnergy.Accumulate(cpuP, dt); err != nil {
+		panic(err)
+	}
+	if err := m.energy.Accumulate(m.cfg.NonCPU+cpuP, dt); err != nil {
+		panic(err)
+	}
+	m.now += dt
+}
+
+// partnerRate returns the shared-L2 partner's post-L1 rate for CPU i, or 0
+// when the hierarchy has private L2s or the partner does not exist.
+func (m *Machine) partnerRate(i int, rates []float64) float64 {
+	if m.cfg.Hier.L2SharedBy < 2 {
+		return 0
+	}
+	partner := i ^ 1
+	if partner >= len(m.cpus) {
+		return 0
+	}
+	return rates[partner]
+}
+
+func (m *Machine) stepCPU(i int, c *cpu, dt float64, partnerRate float64) {
+	f := c.throt.Effective(m.now)
+	stats := QuantumStats{Freq: f}
+	avail := dt
+
+	// The daemon's stolen time comes off the top of the quantum.
+	if c.stolenDebt > 0 {
+		steal := c.stolenDebt
+		if steal > avail {
+			steal = avail
+		}
+		c.stolenDebt -= steal
+		avail -= steal
+		// Stolen time still burns non-halted cycles (the daemon runs).
+		burned := uint64(steal * f.Hz())
+		c.totals.Cycles += burned
+		stats.Cycles += burned
+	}
+
+	if f <= 0 {
+		// Fully throttled: time passes, nothing retires.
+		c.idleNow = c.mix == nil || c.mix.Done()
+		c.last = stats
+		return
+	}
+
+	latScale := m.quantumLatencyScale(partnerRate)
+	var postL1Refs float64
+
+	// Dispatch: run the picked job through the quantum, rolling to the
+	// next job if it completes mid-quantum.
+	for avail > 1e-12 {
+		var job *workload.Cursor
+		if c.mix != nil {
+			job = c.mix.PickNext()
+		}
+		if job == nil {
+			break
+		}
+		used, refs := m.execJob(c, job, f, latScale, avail, &stats)
+		postL1Refs += refs
+		avail -= used
+		if !job.Done() {
+			// Quantum expired inside the job — OS time-slice boundary.
+			break
+		}
+		// Precise completion time: offset into the quantum already spent.
+		m.completions = append(m.completions, JobCompletion{CPU: i, Program: job.Program().Name, At: m.now + (dt - avail)})
+		c.completions++
+	}
+	// The CPU is idle exactly when it has no runnable work left.
+	c.idleNow = c.mix == nil || c.mix.Done()
+	// Idle residue of the quantum.
+	if avail > 1e-12 && c.idleNow {
+		switch m.cfg.Idle {
+		case IdleHot:
+			used, refs := m.execJob(c, c.idleCursor, f, latScale, avail, &stats)
+			postL1Refs += refs
+			avail -= used
+		case IdleHalt:
+			halted := uint64(avail * f.Hz())
+			c.totals.HaltedCycles += halted
+			avail = 0
+		}
+	}
+
+	stats.Idle = c.idleNow
+	stats.PostL1Rate = postL1Refs / dt
+	if !c.idleNow {
+		c.busySeconds += dt
+	}
+	c.last = stats
+}
+
+// quantumLatencyScale draws this quantum's true memory-latency multiplier:
+// shared-cache contention times lognormal-ish jitter, floored at 0.5.
+func (m *Machine) quantumLatencyScale(partnerRate float64) float64 {
+	scale := m.cfg.Contention.Factor(partnerRate, m.cfg.ContentionSatRefs)
+	if m.cfg.LatencyJitterSigma > 0 {
+		scale *= 1 + m.rng.NormFloat64()*m.cfg.LatencyJitterSigma
+	}
+	if scale < 0.5 {
+		scale = 0.5
+	}
+	return scale
+}
+
+// execJob dispatches to the configured execution model.
+func (m *Machine) execJob(c *cpu, job *workload.Cursor, f units.Frequency, latScale, avail float64, stats *QuantumStats) (used float64, postL1 float64) {
+	if m.cfg.MonteCarloExec {
+		return m.runJobMC(c, job, f, latScale, avail, stats)
+	}
+	return m.runJob(c, job, f, latScale, avail, stats)
+}
+
+// runJob executes cursor work at frequency f for at most avail seconds and
+// returns the seconds consumed and post-L1 references generated. It updates
+// the CPU's counters and the quantum stats.
+func (m *Machine) runJob(c *cpu, job *workload.Cursor, f units.Frequency, latScale, avail float64, stats *QuantumStats) (used float64, postL1 float64) {
+	for avail > 1e-12 && !job.Done() {
+		phase := job.Current()
+		cpi := phase.TrueCyclesPerInstr(m.cfg.Hier, f.Hz(), latScale)
+		rate := f.Hz() / cpi // instructions per second
+		budget := uint64(rate * avail)
+		if budget == 0 {
+			// Remaining sliver cannot retire one instruction; burn it.
+			burned := uint64(avail * f.Hz())
+			c.totals.Cycles += burned
+			stats.Cycles += burned
+			used += avail
+			avail = 0
+			break
+		}
+		n, _ := job.AdvanceWithinPhase(budget)
+		dtUsed := float64(n) / rate
+		cycles := uint64(dtUsed * f.Hz())
+		l2 := uint64(float64(n) * phase.Rates.L2PerInstr)
+		l3 := uint64(float64(n) * phase.Rates.L3PerInstr)
+		mem := uint64(float64(n) * phase.Rates.MemPerInstr)
+
+		c.totals.Instructions += n
+		c.totals.Cycles += cycles
+		c.totals.L2Refs += l2
+		c.totals.L3Refs += l3
+		c.totals.MemRefs += mem
+
+		stats.Instructions += n
+		stats.Cycles += cycles
+		postL1 += float64(l2 + l3 + mem)
+		used += dtUsed
+		avail -= dtUsed
+	}
+	return used, postL1
+}
+
+// RunQuanta advances the simulation n quanta.
+func (m *Machine) RunQuanta(n int) {
+	for i := 0; i < n; i++ {
+		m.Step()
+	}
+}
+
+// RunUntil advances the simulation until simulation time t (inclusive of
+// the quantum containing t).
+func (m *Machine) RunUntil(t float64) {
+	for m.now < t {
+		m.Step()
+	}
+}
+
+// RunUntilAllDone advances until every assigned job completes or the
+// deadline (simulation seconds) passes; it returns true when all jobs
+// finished.
+func (m *Machine) RunUntilAllDone(deadline float64) bool {
+	for m.now < deadline {
+		if m.AllJobsDone() {
+			return true
+		}
+		m.Step()
+	}
+	return m.AllJobsDone()
+}

@@ -1,0 +1,56 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestBusySecondsAndUtilization(t *testing.T) {
+	m := newQuiet(t)
+	if m.Utilization(0) != 0 {
+		t.Error("fresh machine should report zero utilization")
+	}
+	// CPU 0 busy with a long job; CPU 1 idle throughout.
+	mix, err := workload.NewMix(workload.Program{
+		Name:   "long",
+		Phases: []workload.Phase{{Name: "c", Alpha: 1, Instructions: 1e12}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetMix(0, mix); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntil(1.0)
+	if got := m.Utilization(0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("busy CPU utilization = %v, want 1", got)
+	}
+	if got := m.Utilization(1); got != 0 {
+		t.Errorf("idle CPU utilization = %v, want 0", got)
+	}
+	if got := m.BusySeconds(0); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("BusySeconds = %v, want 1.0", got)
+	}
+}
+
+func TestUtilizationPartial(t *testing.T) {
+	m := newQuiet(t)
+	// A job sized for ≈0.5 s at 1 GHz (α=1 → 1 cycle/instr).
+	mix, err := workload.NewMix(workload.Program{
+		Name:   "half",
+		Phases: []workload.Phase{{Name: "c", Alpha: 1, Instructions: 5e8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetMix(2, mix); err != nil {
+		t.Fatal(err)
+	}
+	m.RunUntil(1.0)
+	got := m.Utilization(2)
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("utilization = %v, want ≈0.5", got)
+	}
+}

@@ -1,0 +1,115 @@
+package memhier
+
+import (
+	"fmt"
+	"math"
+)
+
+// MissModel derives per-level access rates from a workload's footprint and
+// access-pattern parameters using a power-law (Chow/"square-root rule")
+// cache model: the miss ratio of a cache of capacity C against a working
+// set of size W behaves like (C/W)^θ for C < W and ~0 above it.
+//
+// The paper's synthetic benchmark is "constructed so that a miss in the L1
+// is highly likely to result in a memory access due to the large memory
+// footprint" (§7.3); a MissModel with a footprint far beyond L3 reproduces
+// exactly that behaviour, while small-footprint workloads resolve mostly in
+// L2.
+type MissModel struct {
+	// FootprintBytes is the workload's working-set size.
+	FootprintBytes int64
+	// AccessesPerInstr is the fraction of instructions that reference
+	// memory (loads+stores per instruction), typically 0.3–0.4.
+	AccessesPerInstr float64
+	// L1MissRatio is the fraction of references that miss L1 (pattern
+	// dependent, not capacity dependent in this model).
+	L1MissRatio float64
+	// Theta is the power-law locality exponent; 0.5 is the classical
+	// square-root rule. Higher θ means more locality (misses fall faster
+	// with capacity).
+	Theta float64
+}
+
+// Validate rejects parameter values outside their physical ranges.
+func (m MissModel) Validate() error {
+	if m.FootprintBytes <= 0 {
+		return fmt.Errorf("memhier: footprint %d must be positive", m.FootprintBytes)
+	}
+	if m.AccessesPerInstr < 0 || m.AccessesPerInstr > 1 {
+		return fmt.Errorf("memhier: accesses/instr %v out of [0,1]", m.AccessesPerInstr)
+	}
+	if m.L1MissRatio < 0 || m.L1MissRatio > 1 {
+		return fmt.Errorf("memhier: L1 miss ratio %v out of [0,1]", m.L1MissRatio)
+	}
+	if m.Theta <= 0 || m.Theta > 2 {
+		return fmt.Errorf("memhier: theta %v out of (0,2]", m.Theta)
+	}
+	return nil
+}
+
+// hitRatio returns the fraction of post-L1 traffic that a cache of the
+// given capacity satisfies.
+func (m MissModel) hitRatio(capacityBytes int64) float64 {
+	if capacityBytes >= m.FootprintBytes {
+		return 1
+	}
+	return math.Pow(float64(capacityBytes)/float64(m.FootprintBytes), m.Theta)
+}
+
+// Rates computes the per-instruction access rates each hierarchy level
+// services under hierarchy h. The flow is inclusive: traffic that misses L1
+// goes to L2; the share L2 cannot capture goes to L3; the remainder to
+// DRAM. Returned rates always satisfy rates.Validate().
+func (m MissModel) Rates(h Hierarchy) (AccessRates, error) {
+	if err := m.Validate(); err != nil {
+		return AccessRates{}, err
+	}
+	if err := h.Validate(); err != nil {
+		return AccessRates{}, err
+	}
+	beyondL1 := m.AccessesPerInstr * m.L1MissRatio
+
+	l2Hit := m.hitRatio(h.CapacityBytes[L2])
+	l3Hit := m.hitRatio(h.CapacityBytes[L3])
+	if l3Hit < l2Hit {
+		// Cannot happen with monotone capacities, but guard anyway.
+		l3Hit = l2Hit
+	}
+
+	rates := AccessRates{
+		L2PerInstr:  beyondL1 * l2Hit,
+		L3PerInstr:  beyondL1 * (l3Hit - l2Hit),
+		MemPerInstr: beyondL1 * (1 - l3Hit),
+	}
+	if err := rates.Validate(); err != nil {
+		return AccessRates{}, err
+	}
+	return rates, nil
+}
+
+// Contention models shared-L2 interference between the two cores of a
+// Power4+ module. When both cores issue post-L1 traffic, each sees a
+// latency inflation proportional to the partner's occupancy. The returned
+// factor multiplies the L2 (and, attenuated, L3/DRAM) service times in the
+// *ground-truth* machine model only — the paper's predictor assumes constant
+// latencies, and the gap between the two is one of its documented error
+// sources (§4.3 footnote, Table 2).
+type Contention struct {
+	// MaxInflation is the worst-case latency multiplier when the partner
+	// core saturates the shared L2 (e.g. 1.3 = +30%).
+	MaxInflation float64
+}
+
+// Factor returns the latency multiplier given the partner core's post-L1
+// traffic intensity in references per second, normalised by a saturation
+// rate. intensity ≤ 0 yields exactly 1.
+func (c Contention) Factor(partnerRefsPerSec, saturationRefsPerSec float64) float64 {
+	if c.MaxInflation <= 1 || partnerRefsPerSec <= 0 || saturationRefsPerSec <= 0 {
+		return 1
+	}
+	u := partnerRefsPerSec / saturationRefsPerSec
+	if u > 1 {
+		u = 1
+	}
+	return 1 + (c.MaxInflation-1)*u
+}

@@ -1,0 +1,52 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/memhier"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// ExamplePredictor_Decompose reproduces the paper's core prediction flow:
+// observe one counter window at the current frequency, split the cycles
+// into frequency-dependent and -independent parts, and predict IPC and
+// performance loss at a candidate frequency.
+func ExamplePredictor_Decompose() {
+	p, _ := perfmodel.New(memhier.P630())
+
+	// A 12 ms window at 1 GHz: 1.05M instructions over 12.15M cycles with
+	// heavy memory traffic (an mcf-like profile: ~10.6 ns of memory time
+	// per instruction).
+	window := perfmodel.Observation{
+		Freq: units.GHz(1),
+		Delta: counters.Delta{
+			Window:       0.01215,
+			Instructions: 1_050_000,
+			Cycles:       12_150_000,
+			L2Refs:       31_500,
+			L3Refs:       6_300,
+			MemRefs:      25_200,
+		},
+	}
+	dec, _ := p.Decompose(window)
+
+	fmt.Printf("observed IPC:   %.3f\n", window.Delta.IPC())
+	fmt.Printf("IPC at 650MHz:  %.3f\n", dec.IPCAt(units.MHz(650)))
+	fmt.Printf("loss at 650MHz: %.1f%%\n", dec.PerfLoss(units.GHz(1), units.MHz(650))*100)
+	// Output:
+	// observed IPC:   0.086
+	// IPC at 650MHz:  0.127
+	// loss at 650MHz: 4.5%
+}
+
+// ExampleDecomposition_IdealFrequency shows the §5 closed form: the
+// continuous frequency retaining 95% of full-speed performance.
+func ExampleDecomposition_IdealFrequency() {
+	dec := perfmodel.Decomposition{InvAlpha: 1 / 1.1, StallSecPerInstr: 9e-9}
+	f, _ := dec.IdealFrequency(units.GHz(1), 0.05)
+	fmt.Printf("f_ideal = %.0f MHz\n", f.MHz())
+	// Output:
+	// f_ideal = 635 MHz
+}

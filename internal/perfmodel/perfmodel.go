@@ -1,0 +1,239 @@
+// Package perfmodel implements the paper's predictive performance model
+// (§4.3): from one window of performance-counter data it decomposes a
+// processor's cycles into a frequency-dependent core component (1/α) and a
+// frequency-independent memory component (Σ Nᵢ·Tᵢ), and from that predicts
+// IPC and performance at any candidate frequency:
+//
+//	IPC(f) = 1 / (1/α + (Σᵢ (Nᵢ/Instr)·Tᵢ) · f)
+//	Perf(f) = IPC(f) · f
+//
+// The package also provides the paper's PerfLoss metric, the closed-form
+// ideal frequency of §5, the two-frequency calibration mentioned in the
+// §4.3 footnote, and the best/worst-case latency bounds of reference [17].
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/counters"
+	"repro/internal/memhier"
+	"repro/internal/units"
+)
+
+// MaxAlpha bounds the perfect-machine IPC: no Power4-class core retires
+// more than ~8 instructions per cycle, and a noisy observation that implies
+// a higher α is clamped rather than trusted.
+const MaxAlpha = 8.0
+
+// Observation is one window of counter data together with the effective
+// frequency the processor ran at during the window — everything the
+// predictor is allowed to see.
+type Observation struct {
+	Delta counters.Delta
+	Freq  units.Frequency
+}
+
+// Validate checks the observation is usable for prediction.
+func (o Observation) Validate() error {
+	if o.Freq <= 0 {
+		return fmt.Errorf("perfmodel: observation frequency %v must be positive", o.Freq)
+	}
+	if o.Delta.Instructions == 0 || o.Delta.Cycles == 0 {
+		return fmt.Errorf("perfmodel: observation has no retired work")
+	}
+	return o.Delta.Validate()
+}
+
+// Decomposition is the frequency-dependent/independent split of a
+// workload's per-instruction cost.
+type Decomposition struct {
+	// InvAlpha is 1/α: core cycles per instruction on a perfect memory
+	// system.
+	InvAlpha float64
+	// StallSecPerInstr is Σᵢ rᵢ·Tᵢ: seconds per instruction spent in the
+	// memory system, invariant under frequency scaling.
+	StallSecPerInstr float64
+}
+
+// Predictor holds the machine constants the model needs: the memory
+// hierarchy (for the Tᵢ service times).
+type Predictor struct {
+	Hier memhier.Hierarchy
+}
+
+// New returns a predictor over the given hierarchy.
+func New(h memhier.Hierarchy) (Predictor, error) {
+	if err := h.Validate(); err != nil {
+		return Predictor{}, err
+	}
+	return Predictor{Hier: h}, nil
+}
+
+// Decompose derives the cycle decomposition from a single observation: the
+// memory term comes from the counter-reported access counts and the
+// constant service times; the core term is whatever is left of the observed
+// cycles-per-instruction after subtracting the memory cycles at the
+// observed frequency. A noisy window whose memory term already exceeds the
+// observed CPI clamps InvAlpha at 1/MaxAlpha.
+func (p Predictor) Decompose(o Observation) (Decomposition, error) {
+	if err := o.Validate(); err != nil {
+		return Decomposition{}, err
+	}
+	d := o.Delta
+	rates := memhier.AccessRates{
+		L2PerInstr:  d.L2PerInstr(),
+		L3PerInstr:  d.L3PerInstr(),
+		MemPerInstr: d.MemPerInstr(),
+	}
+	stall := rates.StallTimePerInstr(p.Hier)
+	cpi := 1 / d.IPC()
+	invAlpha := cpi - stall*o.Freq.Hz()
+	if invAlpha < 1/MaxAlpha {
+		invAlpha = 1 / MaxAlpha
+	}
+	return Decomposition{InvAlpha: invAlpha, StallSecPerInstr: stall}, nil
+}
+
+// FromPhaseTruth builds the decomposition the predictor *would* recover
+// from a perfectly measured phase — useful for analytic experiments and the
+// saturation study of Figure 1. alpha is the phase's perfect-machine IPC
+// and stall the Σ r·T term.
+func FromPhaseTruth(alpha, stallSecPerInstr float64) (Decomposition, error) {
+	if alpha <= 0 || alpha > MaxAlpha {
+		return Decomposition{}, fmt.Errorf("perfmodel: alpha %v out of (0,%v]", alpha, MaxAlpha)
+	}
+	if stallSecPerInstr < 0 {
+		return Decomposition{}, fmt.Errorf("perfmodel: negative stall %v", stallSecPerInstr)
+	}
+	return Decomposition{InvAlpha: 1 / alpha, StallSecPerInstr: stallSecPerInstr}, nil
+}
+
+// IPCAt predicts instructions per cycle at frequency f.
+func (d Decomposition) IPCAt(f units.Frequency) float64 {
+	return 1 / (d.InvAlpha + d.StallSecPerInstr*f.Hz())
+}
+
+// PerfAt predicts performance — the instruction completion rate in
+// instructions per second — at frequency f: Perf(f) = IPC(f)·f.
+func (d Decomposition) PerfAt(f units.Frequency) float64 {
+	return d.IPCAt(f) * f.Hz()
+}
+
+// PerfLoss returns the predicted fraction of performance lost by running at
+// target f instead of reference g: (Perf(g) - Perf(f)) / Perf(g). Positive
+// values are losses, negative values gains. The scheduler's ε-criterion is
+// PerfLoss(f_max → f) < ε.
+func (d Decomposition) PerfLoss(g, f units.Frequency) float64 {
+	pg := d.PerfAt(g)
+	if pg == 0 {
+		return 0
+	}
+	return (pg - d.PerfAt(f)) / pg
+}
+
+// SaturationPerf returns the performance bound as f → ∞: 1/StallSecPerInstr
+// instructions per second, or +Inf for a pure-CPU workload.
+func (d Decomposition) SaturationPerf() float64 {
+	if d.StallSecPerInstr == 0 {
+		return math.Inf(1)
+	}
+	return 1 / d.StallSecPerInstr
+}
+
+// IdealFrequency computes the §5 closed form: the continuous frequency at
+// which the workload retains (1-ε) of its performance at fMax. CPU-bound
+// windows (predicted IPC at fMax above the ipcCutoff of 1, per the paper's
+// "fideal = fmax if IPC > 1") return fMax directly, as do workloads whose
+// saturation performance cannot support the target.
+func (d Decomposition) IdealFrequency(fMax units.Frequency, epsilon float64) (units.Frequency, error) {
+	if epsilon <= 0 || epsilon >= 1 {
+		return 0, fmt.Errorf("perfmodel: epsilon %v out of (0,1)", epsilon)
+	}
+	if fMax <= 0 {
+		return 0, fmt.Errorf("perfmodel: fMax %v must be positive", fMax)
+	}
+	if d.IPCAt(fMax) > 1 {
+		return fMax, nil
+	}
+	target := d.PerfAt(fMax) * (1 - epsilon)
+	denom := 1 - d.StallSecPerInstr*target
+	if denom <= 0 {
+		return fMax, nil
+	}
+	f := units.Frequency(d.InvAlpha * target / denom)
+	if f > fMax {
+		f = fMax
+	}
+	return f, nil
+}
+
+// CalibrateTwoPoint recovers a decomposition from observations of the same
+// workload at two different frequencies, the approach of [2] referenced in
+// the §4.3 footnote: it needs no assumed service times, since two
+// (frequency, CPI) points determine both components:
+//
+//	CPI(f) = InvAlpha + Stall·f.
+func CalibrateTwoPoint(a, b Observation) (Decomposition, error) {
+	if err := a.Validate(); err != nil {
+		return Decomposition{}, err
+	}
+	if err := b.Validate(); err != nil {
+		return Decomposition{}, err
+	}
+	if a.Freq == b.Freq {
+		return Decomposition{}, fmt.Errorf("perfmodel: two-point calibration needs distinct frequencies")
+	}
+	cpiA, cpiB := 1/a.Delta.IPC(), 1/b.Delta.IPC()
+	stall := (cpiB - cpiA) / (b.Freq.Hz() - a.Freq.Hz())
+	if stall < 0 {
+		stall = 0
+	}
+	invAlpha := cpiA - stall*a.Freq.Hz()
+	if invAlpha < 1/MaxAlpha {
+		invAlpha = 1 / MaxAlpha
+	}
+	return Decomposition{InvAlpha: invAlpha, StallSecPerInstr: stall}, nil
+}
+
+// Bounds is the best/worst-case prediction interval of reference [17]:
+// instead of one constant latency per level, the true service time is
+// bracketed between scale factors applied to the nominal latencies.
+type Bounds struct {
+	Best, Worst Decomposition
+}
+
+// DecomposeWithBounds is Decompose with a latency uncertainty band:
+// loScale and hiScale multiply the nominal service times (e.g. 0.9 and 1.3
+// for −10%/+30% latency uncertainty).
+func (p Predictor) DecomposeWithBounds(o Observation, loScale, hiScale float64) (Bounds, error) {
+	if loScale <= 0 || hiScale < loScale {
+		return Bounds{}, fmt.Errorf("perfmodel: bad latency scales %v..%v", loScale, hiScale)
+	}
+	base, err := p.Decompose(o)
+	if err != nil {
+		return Bounds{}, err
+	}
+	mk := func(scale float64) Decomposition {
+		stall := base.StallSecPerInstr * scale
+		cpi := base.InvAlpha + base.StallSecPerInstr*o.Freq.Hz() // observed CPI reconstructed
+		invAlpha := cpi - stall*o.Freq.Hz()
+		if invAlpha < 1/MaxAlpha {
+			invAlpha = 1 / MaxAlpha
+		}
+		return Decomposition{InvAlpha: invAlpha, StallSecPerInstr: stall}
+	}
+	// A larger assumed latency shifts cost from the core to the memory
+	// component; at lower frequencies that predicts *better* performance
+	// retention ("best case" for scaling down), and vice versa.
+	return Bounds{Best: mk(hiScale), Worst: mk(loScale)}, nil
+}
+
+// IPCRangeAt returns the predicted IPC interval at frequency f.
+func (b Bounds) IPCRangeAt(f units.Frequency) (lo, hi float64) {
+	x, y := b.Best.IPCAt(f), b.Worst.IPCAt(f)
+	if x > y {
+		x, y = y, x
+	}
+	return x, y
+}

@@ -1,0 +1,298 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestMotivatingPlantCapacity(t *testing.T) {
+	p := MotivatingPlant(0.5)
+	if got := p.Capacity(); got.W() != 960 {
+		t.Errorf("capacity = %v, want 960W (2×480W)", got)
+	}
+	if len(p.Supplies()) != 2 {
+		t.Errorf("supplies = %d", len(p.Supplies()))
+	}
+}
+
+func TestNewPlantValidation(t *testing.T) {
+	if _, err := NewPlant(0, units.Watts(480)); err == nil {
+		t.Error("zero ΔT accepted")
+	}
+	if _, err := NewPlant(1); err == nil {
+		t.Error("no supplies accepted")
+	}
+	if _, err := NewPlant(1, units.Watts(-5)); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestFailAndRestoreSupply(t *testing.T) {
+	p := MotivatingPlant(0.5)
+	if err := p.FailSupply("PS0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Capacity(); got.W() != 480 {
+		t.Errorf("capacity after failure = %v, want 480W", got)
+	}
+	if err := p.FailSupply("PS0"); err == nil {
+		t.Error("double failure accepted")
+	}
+	if err := p.FailSupply("PS9"); err == nil {
+		t.Error("unknown supply accepted")
+	}
+	if err := p.RestoreSupply("PS0"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Capacity(); got.W() != 960 {
+		t.Errorf("capacity after restore = %v", got)
+	}
+	if err := p.RestoreSupply("PS0"); err == nil {
+		t.Error("restoring healthy supply accepted")
+	}
+	if err := p.RestoreSupply("nope"); err == nil {
+		t.Error("restoring unknown supply accepted")
+	}
+}
+
+// TestCascadeScenario replays §2: at T0 a supply fails; if the system is
+// not under the new 480 W limit within ΔT the second supply fails too.
+func TestCascadeScenario(t *testing.T) {
+	const deltaT = 0.5
+	p := MotivatingPlant(deltaT)
+	load := units.Watts(746) // full system load
+
+	if p.Observe(0, load) {
+		t.Fatal("cascade with both supplies healthy")
+	}
+	if err := p.FailSupply("PS0"); err != nil {
+		t.Fatal(err)
+	}
+	// Immediately after failure: overloaded but not yet cascaded.
+	if p.Observe(0.1, load) {
+		t.Fatal("cascaded before ΔT elapsed")
+	}
+	if got := p.OverloadedFor(); math.Abs(got-0) > 1e-12 {
+		t.Errorf("OverloadedFor right at onset = %v", got)
+	}
+	if p.Observe(0.3, load) {
+		t.Fatal("cascaded at 0.2s < ΔT")
+	}
+	// Past the deadline: cascade.
+	if !p.Observe(0.7, load) {
+		t.Fatal("no cascade after ΔT of overload")
+	}
+	if !p.Cascaded() {
+		t.Error("Cascaded() = false after cascade")
+	}
+	if p.Capacity() != 0 {
+		t.Errorf("capacity after cascade = %v, want 0", p.Capacity())
+	}
+}
+
+// TestCascadeAvertedByShedding shows that dropping the load under the
+// surviving capacity before ΔT prevents the cascade — the job fvsst exists
+// to do.
+func TestCascadeAvertedByShedding(t *testing.T) {
+	p := MotivatingPlant(0.5)
+	if err := p.FailSupply("PS1"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Observe(0.1, units.Watts(746)) {
+		t.Fatal("premature cascade")
+	}
+	// Scheduler sheds load to 450 W at t=0.4 (< ΔT after overload onset).
+	if p.Observe(0.4, units.Watts(450)) {
+		t.Fatal("cascade despite shedding in time")
+	}
+	if p.OverloadedFor() != 0 {
+		t.Errorf("OverloadedFor = %v after recovery", p.OverloadedFor())
+	}
+	// Long after, still fine.
+	if p.Observe(10, units.Watts(450)) {
+		t.Fatal("cascade while under capacity")
+	}
+}
+
+func TestOverloadClockResetsOnRecovery(t *testing.T) {
+	p := MotivatingPlant(1.0)
+	if err := p.FailSupply("PS0"); err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(0, units.Watts(700))   // overload starts
+	p.Observe(0.9, units.Watts(400)) // recovered before deadline
+	p.Observe(1.0, units.Watts(700)) // overload restarts — new clock
+	if p.Observe(1.9, units.Watts(700)) {
+		t.Fatal("cascade: overload clock did not reset")
+	}
+	if !p.Observe(2.1, units.Watts(700)) {
+		t.Fatal("no cascade after full ΔT of second overload")
+	}
+}
+
+func TestObservePanicsOnTimeTravel(t *testing.T) {
+	p := MotivatingPlant(0.5)
+	p.Observe(5, units.Watts(100))
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on backwards time")
+		}
+	}()
+	p.Observe(4, units.Watts(100))
+}
+
+func TestBudgetSchedule(t *testing.T) {
+	sched, err := NewBudgetSchedule(units.Watts(560),
+		BudgetEvent{At: 10, Budget: units.Watts(294), Label: "PS0 fails"},
+		BudgetEvent{At: 20, Budget: units.Watts(560), Label: "PS0 restored"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 560}, {9.99, 560}, {10, 294}, {15, 294}, {20, 560}, {100, 560},
+	}
+	for _, c := range cases {
+		if got := sched.At(c.t); got.W() != c.want {
+			t.Errorf("At(%v) = %v, want %vW", c.t, got, c.want)
+		}
+	}
+	if !sched.ChangesBetween(9, 11) {
+		t.Error("ChangesBetween(9,11) = false")
+	}
+	if sched.ChangesBetween(11, 19) {
+		t.Error("ChangesBetween(11,19) = true")
+	}
+	if len(sched.Events()) != 2 {
+		t.Errorf("Events() len = %d", len(sched.Events()))
+	}
+}
+
+func TestBudgetScheduleSortsEvents(t *testing.T) {
+	sched, err := NewBudgetSchedule(units.Watts(100),
+		BudgetEvent{At: 20, Budget: units.Watts(50)},
+		BudgetEvent{At: 10, Budget: units.Watts(75)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.At(15); got.W() != 75 {
+		t.Errorf("At(15) = %v, want 75W (events must be sorted)", got)
+	}
+}
+
+func TestBudgetScheduleValidation(t *testing.T) {
+	if _, err := NewBudgetSchedule(0); err == nil {
+		t.Error("zero initial budget accepted")
+	}
+	if _, err := NewBudgetSchedule(units.Watts(100), BudgetEvent{At: -1, Budget: units.Watts(50)}); err == nil {
+		t.Error("negative event time accepted")
+	}
+	if _, err := NewBudgetSchedule(units.Watts(100), BudgetEvent{At: 1, Budget: 0}); err == nil {
+		t.Error("zero event budget accepted")
+	}
+}
+
+func TestMeterNoise(t *testing.T) {
+	noiseless, err := NewMeter(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := noiseless.Read(units.Watts(100)); got.W() != 100 {
+		t.Errorf("noiseless read = %v", got)
+	}
+
+	noisy, err := NewMeter(0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumsq float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		r := noisy.Read(units.Watts(100)).W()
+		if r < 0 {
+			t.Fatal("negative power reading")
+		}
+		sum += r
+		sumsq += r * r
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-100) > 1 {
+		t.Errorf("noisy mean = %v, want ≈100", mean)
+	}
+	if math.Abs(sd-5) > 1 {
+		t.Errorf("noisy stddev = %v, want ≈5", sd)
+	}
+}
+
+func TestMeterValidation(t *testing.T) {
+	if _, err := NewMeter(-0.1, 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := NewMeter(0.9, 1); err == nil {
+		t.Error("huge sigma accepted")
+	}
+}
+
+func TestMeterDeterministicPerSeed(t *testing.T) {
+	a, _ := NewMeter(0.05, 7)
+	b, _ := NewMeter(0.05, 7)
+	for i := 0; i < 10; i++ {
+		if a.Read(units.Watts(50)) != b.Read(units.Watts(50)) {
+			t.Fatal("same seed produced different readings")
+		}
+	}
+}
+
+func TestEnergyMeter(t *testing.T) {
+	var e EnergyMeter
+	if e.AveragePower() != 0 {
+		t.Error("fresh meter should report 0 average power")
+	}
+	if err := e.Accumulate(units.Watts(100), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Accumulate(units.Watts(50), 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Total().J(); got != 300 {
+		t.Errorf("Total = %v J, want 300", got)
+	}
+	if got := e.Elapsed(); got != 4 {
+		t.Errorf("Elapsed = %v, want 4", got)
+	}
+	if got := e.AveragePower().W(); got != 75 {
+		t.Errorf("AveragePower = %v, want 75W", got)
+	}
+	if err := e.Accumulate(units.Watts(10), -1); err == nil {
+		t.Error("negative dt accepted")
+	}
+	if err := e.Accumulate(units.Watts(-10), 1); err == nil {
+		t.Error("negative power accepted")
+	}
+}
+
+func TestSystemPowerMotivatingBreakdown(t *testing.T) {
+	s := MotivatingSystem()
+	if s.Base.W() != 186 {
+		t.Errorf("base = %v, want 186W (746 - 4×140)", s.Base)
+	}
+	// Full CPU power reproduces the §2 total: 746 W.
+	if got := s.Total(units.Watts(560)); got.W() != 746 {
+		t.Errorf("Total(560W) = %v, want 746W", got)
+	}
+	// §2/§5: a single surviving 480 W supply leaves 294 W for the CPUs.
+	budget, ok := s.CPUBudgetFor(units.Watts(480))
+	if !ok || budget.W() != 294 {
+		t.Errorf("CPUBudgetFor(480W) = %v,%v want 294W,true", budget, ok)
+	}
+	if _, ok := s.CPUBudgetFor(units.Watts(100)); ok {
+		t.Error("limit below base should be infeasible")
+	}
+}

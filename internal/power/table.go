@@ -1,0 +1,211 @@
+// Package power models everything electrical in the reproduction: the
+// frequency→power operating-point table the scheduler consults (the paper's
+// Table 1, generated there by the Lava circuit tool), the minimum-voltage
+// curve, the analytic P = C·V²·f + B·V² model, the dual power supplies of
+// the motivating example with their cascade-failure deadline, power
+// measurement with sensor noise, and energy integration.
+package power
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// OperatingPoint couples one frequency setting with the minimum voltage
+// that reliably drives it and the peak power drawn at that pair. "Peak"
+// because the paper's table deliberately ignores clock gating to obtain an
+// upper bound (§4.4).
+type OperatingPoint struct {
+	F units.Frequency
+	V units.Voltage
+	P units.Power
+}
+
+// Table is the scheduler-facing operating-point table, ascending in
+// frequency. Step 3 of the scheduling algorithm ("v = MinVoltage(f)") and
+// the power lookups of Step 2 are both table lookups here, exactly as the
+// paper prescribes for processors with a small fixed frequency set.
+type Table struct {
+	points []OperatingPoint
+}
+
+// NewTable validates and sorts the given operating points: frequencies must
+// be unique and positive, and voltage and power must be non-decreasing in
+// frequency (a higher clock can never need less voltage or draw less peak
+// power).
+func NewTable(points []OperatingPoint) (*Table, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("power: table must have at least one operating point")
+	}
+	ps := make([]OperatingPoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].F < ps[j].F })
+	for i, p := range ps {
+		if p.F <= 0 {
+			return nil, fmt.Errorf("power: operating point %d has non-positive frequency %v", i, p.F)
+		}
+		if p.V <= 0 {
+			return nil, fmt.Errorf("power: operating point %v has non-positive voltage %v", p.F, p.V)
+		}
+		if p.P <= 0 {
+			return nil, fmt.Errorf("power: operating point %v has non-positive power %v", p.F, p.P)
+		}
+		if i > 0 {
+			prev := ps[i-1]
+			if p.F == prev.F {
+				return nil, fmt.Errorf("power: duplicate frequency %v", p.F)
+			}
+			if p.V < prev.V {
+				return nil, fmt.Errorf("power: voltage not monotone at %v", p.F)
+			}
+			if p.P <= prev.P {
+				return nil, fmt.Errorf("power: power not strictly monotone at %v", p.F)
+			}
+		}
+	}
+	return &Table{points: ps}, nil
+}
+
+// MustTable is NewTable for static tables; it panics on error.
+func MustTable(points []OperatingPoint) *Table {
+	t, err := NewTable(points)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Points returns a copy of the operating points, ascending in frequency.
+func (t *Table) Points() []OperatingPoint {
+	out := make([]OperatingPoint, len(t.points))
+	copy(out, t.points)
+	return out
+}
+
+// Frequencies returns the table's frequency settings as a FrequencySet.
+func (t *Table) Frequencies() units.FrequencySet {
+	fs := make([]units.Frequency, len(t.points))
+	for i, p := range t.points {
+		fs[i] = p.F
+	}
+	return units.MustFrequencySet(fs...)
+}
+
+// Len returns the number of operating points.
+func (t *Table) Len() int { return len(t.points) }
+
+// MaxFrequency returns the table's highest setting (the paper's f_max).
+func (t *Table) MaxFrequency() units.Frequency { return t.points[len(t.points)-1].F }
+
+// MinFrequency returns the table's lowest setting.
+func (t *Table) MinFrequency() units.Frequency { return t.points[0].F }
+
+// lookup returns the index of frequency f, or -1.
+func (t *Table) lookup(f units.Frequency) int {
+	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].F >= f })
+	if i < len(t.points) && t.points[i].F == f {
+		return i
+	}
+	return -1
+}
+
+// PowerAt returns the peak power at exactly the table frequency f.
+func (t *Table) PowerAt(f units.Frequency) (units.Power, error) {
+	if i := t.lookup(f); i >= 0 {
+		return t.points[i].P, nil
+	}
+	return 0, fmt.Errorf("power: frequency %v not in table", f)
+}
+
+// MinVoltage returns the minimum reliable voltage at exactly the table
+// frequency f — Step 3 of the scheduling algorithm.
+func (t *Table) MinVoltage(f units.Frequency) (units.Voltage, error) {
+	if i := t.lookup(f); i >= 0 {
+		return t.points[i].V, nil
+	}
+	return 0, fmt.Errorf("power: frequency %v not in table", f)
+}
+
+// PowerInterp returns the power at an arbitrary frequency by linear
+// interpolation between neighbouring table points; it clamps below the
+// table to the lowest point and errors above the table (extrapolating peak
+// power upward would under-report it).
+func (t *Table) PowerInterp(f units.Frequency) (units.Power, error) {
+	if f <= t.points[0].F {
+		return t.points[0].P, nil
+	}
+	last := t.points[len(t.points)-1]
+	if f > last.F {
+		return 0, fmt.Errorf("power: frequency %v above table maximum %v", f, last.F)
+	}
+	i := sort.Search(len(t.points), func(i int) bool { return t.points[i].F >= f })
+	if t.points[i].F == f {
+		return t.points[i].P, nil
+	}
+	lo, hi := t.points[i-1], t.points[i]
+	frac := float64(f-lo.F) / float64(hi.F-lo.F)
+	return lo.P + units.Power(frac)*(hi.P-lo.P), nil
+}
+
+// MaxFrequencyUnder returns the highest table frequency whose peak power is
+// at most budget — "select the highest frequency that yields a power value
+// less than the maximum" (§4.4). ok is false when even the lowest setting
+// exceeds the budget.
+func (t *Table) MaxFrequencyUnder(budget units.Power) (units.Frequency, bool) {
+	best := units.Frequency(0)
+	ok := false
+	for _, p := range t.points {
+		if p.P <= budget {
+			best = p.F
+			ok = true
+		} else {
+			break
+		}
+	}
+	return best, ok
+}
+
+// PaperTable1 returns the paper's Table 1 verbatim: sixteen operating
+// points from 250 MHz/9 W to 1 GHz/140 W in 50 MHz steps, the frequencies
+// available to the scheduler on the p630. Voltages come from
+// DefaultVoltageCurve since Table 1 lists only frequency and power; the
+// platform's nominal point (1 GHz at 1.3 V, §7.1) anchors the curve.
+func PaperTable1() *Table {
+	curve := DefaultVoltageCurve()
+	watts := []struct {
+		mhz float64
+		w   float64
+	}{
+		{250, 9}, {300, 13}, {350, 18}, {400, 22},
+		{450, 28}, {500, 35}, {550, 41}, {600, 48},
+		{650, 57}, {700, 66}, {750, 75}, {800, 84},
+		{850, 95}, {900, 109}, {950, 123}, {1000, 140},
+	}
+	points := make([]OperatingPoint, len(watts))
+	for i, e := range watts {
+		f := units.MHz(e.mhz)
+		points[i] = OperatingPoint{F: f, V: curve.VoltageFor(f), P: units.Watts(e.w)}
+	}
+	return MustTable(points)
+}
+
+// Section5Table returns the coarse five-setting table of the paper's §5
+// worked example: {0.6, 0.7, 0.8, 0.9, 1.0} GHz with the corresponding
+// Table 1 powers (48, 66, 84, 109, 140 W).
+func Section5Table() *Table {
+	curve := DefaultVoltageCurve()
+	entries := []struct {
+		mhz float64
+		w   float64
+	}{
+		{600, 48}, {700, 66}, {800, 84}, {900, 109}, {1000, 140},
+	}
+	points := make([]OperatingPoint, len(entries))
+	for i, e := range entries {
+		f := units.MHz(e.mhz)
+		points[i] = OperatingPoint{F: f, V: curve.VoltageFor(f), P: units.Watts(e.w)}
+	}
+	return MustTable(points)
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram accumulates time-weighted occupancy per discrete bin. The
+// frequency-residency study of Figure 8 ("percentage of time at each
+// frequency") is a Histogram keyed by frequency setting.
+type Histogram struct {
+	weights map[float64]float64
+	total   float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{weights: make(map[float64]float64)}
+}
+
+// Add accumulates weight (typically seconds of residency) into the bin.
+// Negative weights are rejected — residency cannot be negative.
+func (h *Histogram) Add(bin, weight float64) error {
+	if weight < 0 {
+		return fmt.Errorf("stats: histogram weight %v must be non-negative", weight)
+	}
+	h.weights[bin] += weight
+	h.total += weight
+	return nil
+}
+
+// MustAdd is Add for callers with weights known non-negative; it panics on
+// error.
+func (h *Histogram) MustAdd(bin, weight float64) {
+	if err := h.Add(bin, weight); err != nil {
+		panic(err)
+	}
+}
+
+// Total returns the sum of all accumulated weight.
+func (h *Histogram) Total() float64 { return h.total }
+
+// Weight returns the accumulated weight of a single bin.
+func (h *Histogram) Weight(bin float64) float64 { return h.weights[bin] }
+
+// Fraction returns the bin's share of the total weight in [0,1], or 0 when
+// the histogram is empty.
+func (h *Histogram) Fraction(bin float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.weights[bin] / h.total
+}
+
+// Bins returns the occupied bins in ascending order.
+func (h *Histogram) Bins() []float64 {
+	bins := make([]float64, 0, len(h.weights))
+	for b := range h.weights {
+		bins = append(bins, b)
+	}
+	sort.Float64s(bins)
+	return bins
+}
+
+// Fractions returns every occupied bin with its share, ascending by bin.
+func (h *Histogram) Fractions() ([]float64, []float64) {
+	bins := h.Bins()
+	fracs := make([]float64, len(bins))
+	for i, b := range bins {
+		fracs[i] = h.Fraction(b)
+	}
+	return bins, fracs
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for b, w := range other.weights {
+		h.weights[b] += w
+		h.total += w
+	}
+}

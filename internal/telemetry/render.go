@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned text table used to print the paper's
+// tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; cells beyond the header count are rejected.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Headers) {
+		return fmt.Errorf("telemetry: row has %d cells, table has %d columns", len(cells), len(t.Headers))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// MustAddRow is AddRow for rows built in lockstep with the headers.
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Write(&sb); err != nil {
+		return fmt.Sprintf("telemetry: render failed: %v", err)
+	}
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// AsciiChart renders a series as a rows×cols character plot, newest-style
+// "good enough to see the shape" output for the trace figures.
+func AsciiChart(s *Series, rows, cols int) string {
+	if rows < 2 || cols < 2 || s.Len() == 0 {
+		return "(no data)\n"
+	}
+	vals := s.Values()
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	t0 := s.Points[0].T
+	t1 := s.Points[len(s.Points)-1].T
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, p := range s.Points {
+		c := int((p.T - t0) / (t1 - t0) * float64(cols-1))
+		r := rows - 1 - int((p.V-lo)/(hi-lo)*float64(rows-1))
+		if c >= 0 && c < cols && r >= 0 && r < rows {
+			grid[r][c] = '*'
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  [%.4g .. %.4g]\n", s.Name, lo, hi)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", cols) + "\n")
+	fmt.Fprintf(&sb, " t: %.4g .. %.4g s\n", t0, t1)
+	return sb.String()
+}
+
+// AsciiOverlay renders two series on one grid (first as '*', second as
+// '+', coincident points as '#') over the union of their ranges — used for
+// the Figure 9 actual-vs-desired comparison.
+func AsciiOverlay(a, b *Series, rows, cols int) string {
+	if rows < 2 || cols < 2 || (a.Len() == 0 && b.Len() == 0) {
+		return "(no data)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	t0, t1 := math.Inf(1), math.Inf(-1)
+	for _, s := range []*Series{a, b} {
+		for _, p := range s.Points {
+			if p.V < lo {
+				lo = p.V
+			}
+			if p.V > hi {
+				hi = p.V
+			}
+			if p.T < t0 {
+				t0 = p.T
+			}
+			if p.T > t1 {
+				t1 = p.T
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	if t1 == t0 {
+		t1 = t0 + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	plot := func(s *Series, glyph byte) {
+		for _, p := range s.Points {
+			c := int((p.T - t0) / (t1 - t0) * float64(cols-1))
+			r := rows - 1 - int((p.V-lo)/(hi-lo)*float64(rows-1))
+			if c < 0 || c >= cols || r < 0 || r >= rows {
+				continue
+			}
+			switch grid[r][c] {
+			case ' ':
+				grid[r][c] = glyph
+			default:
+				if grid[r][c] != glyph {
+					grid[r][c] = '#'
+				}
+			}
+		}
+	}
+	plot(a, '*')
+	plot(b, '+')
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s(*) vs %s(+)  [%.4g .. %.4g]\n", a.Name, b.Name, lo, hi)
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.Write(row)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("+" + strings.Repeat("-", cols) + "\n")
+	fmt.Fprintf(&sb, " t: %.4g .. %.4g s\n", t0, t1)
+	return sb.String()
+}
+
+// FormatNorm formats a normalised performance/energy value the way the
+// paper prints Table 3 (".79", "1", ".99").
+func FormatNorm(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if math.Abs(v-1) < 0.005 {
+		return "1"
+	}
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimPrefix(s, "0")
+	return s
+}

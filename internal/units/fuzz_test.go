@@ -1,0 +1,61 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseFrequency checks the parser never panics and that any
+// successfully parsed value round-trips through String within rounding.
+func FuzzParseFrequency(f *testing.F) {
+	for _, seed := range []string{
+		"750MHz", "1.0 GHz", "250000000", "32khz", "60Hz", "", "MHz",
+		"-5GHz", "1e3MHz", "9999999GHz", "0.000001Hz", "1.2.3GHz", "NaNHz",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseFrequency(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(v)) {
+			return // "NaN" parses via strconv; String handles it
+		}
+		if v <= 0 || math.IsInf(float64(v), 0) {
+			return
+		}
+		// Round-trip within 0.1% (String keeps 3 decimals of the scaled
+		// value).
+		back, err := ParseFrequency(v.String())
+		if err != nil {
+			t.Fatalf("String() %q of parsed %q does not re-parse: %v", v.String(), s, err)
+		}
+		if rel := math.Abs(float64(back-v)) / float64(v); rel > 1e-3 {
+			t.Fatalf("round trip %q → %v → %v drifted %.4f", s, v, back, rel)
+		}
+	})
+}
+
+// FuzzParsePower mirrors FuzzParseFrequency for watt values.
+func FuzzParsePower(f *testing.F) {
+	for _, seed := range []string{"140W", "0.48 kW", "75", "9w", "watts", "-3W", "1e2W"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParsePower(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || v <= 0 {
+			return
+		}
+		back, err := ParsePower(v.String())
+		if err != nil {
+			t.Fatalf("String() %q of parsed %q does not re-parse: %v", v.String(), s, err)
+		}
+		if rel := math.Abs(float64(back-v)) / float64(v); rel > 1e-3 {
+			t.Fatalf("round trip %q → %v → %v drifted %.4f", s, v, back, rel)
+		}
+	})
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/memhier"
+)
+
+// This file models the four real applications of the paper's evaluation
+// (§7.3): gzip and gap from SPEC CPU2000 (CPU-intensive) and mcf from SPEC
+// plus health from Olden (memory-intensive). We obviously cannot run the
+// SPEC binaries; each profile encodes the phase structure that drives the
+// paper's results — per-phase ILP (α), memory reference rates, and phase
+// lengths — calibrated so that:
+//
+//   - gzip and gap saturate only near the top of the frequency range and
+//     lose performance roughly linearly (slightly sub-linearly) with a
+//     frequency cap (Table 3: 0.79/0.8 @ 75 W, 0.52/0.54 @ 35 W);
+//   - mcf and health saturate around 600–650 MHz, losing nothing at 75 W
+//     and significant performance only at 35 W (Table 3: 0.99/1 @ 75 W,
+//     0.81/0.72 @ 35 W; Figure 8: majority of time at 650 MHz);
+//   - every program has distinct init and exit phases, since Table 2
+//     measures predictor error with and without them.
+
+// AppScale multiplies every phase's instruction count, letting experiments
+// trade simulated run length for harness time. 1.0 reproduces roughly the
+// paper-scale multi-second runs.
+type AppScale float64
+
+func scaleInstr(n uint64, s AppScale) uint64 {
+	if s <= 0 {
+		s = 1
+	}
+	v := uint64(float64(n) * float64(s))
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// Gzip returns the gzip (SPEC CPU2000 164.gzip) profile: compression is
+// dominated by CPU-bound deflate/huffman phases over a working set that
+// mostly fits in L2.
+func Gzip(scale AppScale) Program {
+	mk := func(n uint64) uint64 { return scaleInstr(n, scale) }
+	return Program{
+		Name: "gzip",
+		Phases: []Phase{
+			{Name: "init", Alpha: 1.0,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.012, L3PerInstr: 0.004, MemPerInstr: 0.004},
+				Instructions: mk(400e6), NonMemStallCyclesPerInstr: 0.08},
+			{Name: "deflate", Alpha: 1.3,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.008, L3PerInstr: 0.001, MemPerInstr: 0.0002},
+				Instructions: mk(2500e6), NonMemStallCyclesPerInstr: 0.10},
+			{Name: "huffman", Alpha: 1.5,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.004, L3PerInstr: 0.0004, MemPerInstr: 0.0001},
+				Instructions: mk(1500e6), NonMemStallCyclesPerInstr: 0.06},
+			{Name: "crc-write", Alpha: 1.1,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.010, L3PerInstr: 0.002, MemPerInstr: 0.0006},
+				Instructions: mk(800e6), NonMemStallCyclesPerInstr: 0.08},
+			{Name: "exit", Alpha: 1.2,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.006, L3PerInstr: 0.001, MemPerInstr: 0.0003},
+				Instructions: mk(100e6), NonMemStallCyclesPerInstr: 0.05},
+		},
+		// Loop the three compression phases: gzip compresses its input in
+		// buffer-sized chunks with near-identical behaviour per chunk.
+		LoopFrom: 1,
+		Loops:    6,
+	}
+}
+
+// Gap returns the gap (SPEC CPU2000 254.gap) profile: computational group
+// theory, CPU-intensive with periodic garbage-collection sweeps that touch
+// more of the heap.
+func Gap(scale AppScale) Program {
+	mk := func(n uint64) uint64 { return scaleInstr(n, scale) }
+	return Program{
+		Name: "gap",
+		Phases: []Phase{
+			{Name: "init", Alpha: 0.9,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.015, L3PerInstr: 0.005, MemPerInstr: 0.005},
+				Instructions: mk(300e6), NonMemStallCyclesPerInstr: 0.10},
+			{Name: "group-ops", Alpha: 1.1,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.009, L3PerInstr: 0.0012, MemPerInstr: 0.0003},
+				Instructions: mk(2200e6), NonMemStallCyclesPerInstr: 0.12},
+			{Name: "gc-sweep", Alpha: 0.9,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.014, L3PerInstr: 0.004, MemPerInstr: 0.0015},
+				Instructions: mk(500e6), NonMemStallCyclesPerInstr: 0.10},
+			{Name: "vector-ops", Alpha: 1.3,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.006, L3PerInstr: 0.0008, MemPerInstr: 0.0002},
+				Instructions: mk(1500e6), NonMemStallCyclesPerInstr: 0.08},
+			{Name: "exit", Alpha: 1.1,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.008, L3PerInstr: 0.002, MemPerInstr: 0.0005},
+				Instructions: mk(100e6), NonMemStallCyclesPerInstr: 0.06},
+		},
+		LoopFrom: 1,
+		Loops:    6,
+	}
+}
+
+// Mcf returns the mcf (SPEC CPU2000 181.mcf) profile: single-depot vehicle
+// scheduling by network simplex, notoriously memory-bound pointer chasing
+// whose dominant phase saturates around 650 MHz on the p630.
+func Mcf(scale AppScale) Program {
+	mk := func(n uint64) uint64 { return scaleInstr(n, scale) }
+	return Program{
+		Name: "mcf",
+		Phases: []Phase{
+			{Name: "init", Alpha: 0.9,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.020, L3PerInstr: 0.008, MemPerInstr: 0.010},
+				Instructions: mk(60e6), NonMemStallCyclesPerInstr: 0.10},
+			// Network simplex: calibrated so the *effective* α the counters
+			// imply (ILP degraded by the invisible non-memory stalls) times
+			// Σr·T is ≈ 9.9 at 1 GHz → ε=5% saturation at 650 MHz, the
+			// Figure 8 residency mode.
+			{Name: "simplex", Alpha: 1.1,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.030, L3PerInstr: 0.006, MemPerInstr: 0.0240},
+				Instructions: mk(330e6), NonMemStallCyclesPerInstr: 0.10},
+			// Pricing pass: shorter, more CPU-bound — the phase that needs
+			// 600 MHz+ and makes the 35 W budget hurt (§8.4).
+			{Name: "price", Alpha: 1.2,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.012, L3PerInstr: 0.002, MemPerInstr: 0.0025},
+				Instructions: mk(70e6), NonMemStallCyclesPerInstr: 0.10},
+			{Name: "exit", Alpha: 1.0,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.010, L3PerInstr: 0.003, MemPerInstr: 0.002},
+				Instructions: mk(20e6), NonMemStallCyclesPerInstr: 0.06},
+		},
+		LoopFrom: 1,
+		Loops:    10,
+	}
+}
+
+// Health returns the health (Olden) profile: hierarchical health-care
+// simulation over linked lists — memory-bound like mcf but with a larger
+// CPU-bound bookkeeping share, so it degrades more at 35 W (0.72 vs mcf's
+// 0.81 in Table 3).
+func Health(scale AppScale) Program {
+	mk := func(n uint64) uint64 { return scaleInstr(n, scale) }
+	return Program{
+		Name: "health",
+		Phases: []Phase{
+			{Name: "init", Alpha: 0.9,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.018, L3PerInstr: 0.006, MemPerInstr: 0.012},
+				Instructions: mk(50e6), NonMemStallCyclesPerInstr: 0.10},
+			// List traversal: saturates near 650 MHz like mcf.
+			{Name: "traverse", Alpha: 1.0,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.028, L3PerInstr: 0.008, MemPerInstr: 0.0260},
+				Instructions: mk(260e6), NonMemStallCyclesPerInstr: 0.10},
+			// Village bookkeeping: CPU-bound, a much larger time share than
+			// mcf's pricing pass — why health degrades more than mcf at
+			// 35 W (Table 3: 0.72 vs 0.81).
+			{Name: "simulate", Alpha: 1.2,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.010, L3PerInstr: 0.0015, MemPerInstr: 0.0012},
+				Instructions: mk(320e6), NonMemStallCyclesPerInstr: 0.10},
+			{Name: "exit", Alpha: 1.0,
+				Rates:        memhier.AccessRates{L2PerInstr: 0.010, L3PerInstr: 0.003, MemPerInstr: 0.002},
+				Instructions: mk(15e6), NonMemStallCyclesPerInstr: 0.06},
+		},
+		LoopFrom: 1,
+		Loops:    10,
+	}
+}
+
+// App returns a named application profile, for CLI tools.
+func App(name string, scale AppScale) (Program, error) {
+	switch name {
+	case "gzip":
+		return Gzip(scale), nil
+	case "gap":
+		return Gap(scale), nil
+	case "mcf":
+		return Mcf(scale), nil
+	case "health":
+		return Health(scale), nil
+	case "idle":
+		return HotIdle(), nil
+	default:
+		return Program{}, fmt.Errorf("workload: unknown application %q (want gzip, gap, mcf, health or idle)", name)
+	}
+}
+
+// Apps lists the four benchmark applications of §7.3 in paper order.
+func Apps(scale AppScale) []Program {
+	return []Program{Gzip(scale), Gap(scale), Mcf(scale), Health(scale)}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Arrival is one job arriving at a processor at a point in simulation time
+// — the open-workload model of a server or server-farm node, where work
+// shows up over the day rather than being staged up front (§1's server
+// environment, and the demand-variation setting of the related DVS work).
+type Arrival struct {
+	At      float64 // seconds
+	CPU     int
+	Program Program
+}
+
+// Schedule is a time-ordered list of arrivals.
+type Schedule []Arrival
+
+// Validate checks ordering-independent constraints; the consumer sorts.
+func (s Schedule) Validate() error {
+	for i, a := range s {
+		if a.At < 0 {
+			return fmt.Errorf("workload: arrival %d at negative time %v", i, a.At)
+		}
+		if a.CPU < 0 {
+			return fmt.Errorf("workload: arrival %d on negative CPU", i)
+		}
+		if err := a.Program.Validate(); err != nil {
+			return fmt.Errorf("workload: arrival %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Sorted returns the schedule ordered by arrival time.
+func (s Schedule) Sorted() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// PoissonArrivals draws arrivals as a Poisson process with the given mean
+// rate (jobs/second) over [0, horizon), assigning jobs round-robin across
+// numCPUs and building each job with makeJob (called with the arrival
+// index).
+func PoissonArrivals(rng *rand.Rand, rate, horizon float64, numCPUs int, makeJob func(i int) Program) (Schedule, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	if rate <= 0 || horizon <= 0 || numCPUs <= 0 {
+		return nil, fmt.Errorf("workload: rate %v, horizon %v, cpus %d must be positive", rate, horizon, numCPUs)
+	}
+	var out Schedule
+	t := 0.0
+	for i := 0; ; i++ {
+		t += rng.ExpFloat64() / rate
+		if t >= horizon {
+			break
+		}
+		out = append(out, Arrival{At: t, CPU: i % numCPUs, Program: makeJob(i)})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DiurnalArrivals draws arrivals from a time-varying Poisson process whose
+// rate follows a raised sinusoid — the classic day/night demand curve of a
+// server farm: rate(t) = base·(1 + depth·sin(2πt/period)). Thinning
+// (Lewis-Shedler) keeps the draw exact.
+func DiurnalArrivals(rng *rand.Rand, base, depth, period, horizon float64, numCPUs int, makeJob func(i int) Program) (Schedule, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	if base <= 0 || period <= 0 || horizon <= 0 || numCPUs <= 0 {
+		return nil, fmt.Errorf("workload: base %v, period %v, horizon %v, cpus %d must be positive", base, period, horizon, numCPUs)
+	}
+	if depth < 0 || depth > 1 {
+		return nil, fmt.Errorf("workload: depth %v out of [0,1]", depth)
+	}
+	rateMax := base * (1 + depth)
+	var out Schedule
+	t := 0.0
+	i := 0
+	for {
+		t += rng.ExpFloat64() / rateMax
+		if t >= horizon {
+			break
+		}
+		rate := base * (1 + depth*math.Sin(2*math.Pi*t/period))
+		if rng.Float64()*rateMax <= rate {
+			out = append(out, Arrival{At: t, CPU: i % numCPUs, Program: makeJob(i)})
+			i++
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

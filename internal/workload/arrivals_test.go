@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func shortJob(i int) Program {
+	return Program{
+		Name:   "req",
+		Phases: []Phase{{Name: "serve", Alpha: 1.2, Instructions: 1e6}},
+	}
+}
+
+func TestMixAdd(t *testing.T) {
+	m := MustMix(Program{Name: "a", Phases: []Phase{{Name: "p", Alpha: 1, Instructions: 10}}})
+	if err := m.Add(Program{Name: "b", Phases: []Phase{{Name: "p", Alpha: 1, Instructions: 10}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Jobs()) != 2 {
+		t.Errorf("jobs = %d", len(m.Jobs()))
+	}
+	if err := m.Add(Program{}); err == nil {
+		t.Error("invalid program admitted")
+	}
+}
+
+func TestPoissonArrivalsStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const rate, horizon = 50.0, 100.0
+	s, err := PoissonArrivals(rng, rate, horizon, 4, shortJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean count = rate·horizon = 5000; tolerate ±5σ (σ ≈ 71).
+	n := float64(len(s))
+	if math.Abs(n-5000) > 5*71 {
+		t.Errorf("arrival count %v far from 5000", n)
+	}
+	// Sorted in time, all within horizon, CPUs round-robin.
+	for i, a := range s {
+		if a.At < 0 || a.At >= horizon {
+			t.Fatalf("arrival %d at %v outside horizon", i, a.At)
+		}
+		if i > 0 && a.At < s[i-1].At {
+			t.Fatal("arrivals not time-ordered")
+		}
+		if a.CPU != i%4 {
+			t.Fatalf("arrival %d on cpu %d, want %d", i, a.CPU, i%4)
+		}
+	}
+}
+
+func TestPoissonArrivalsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := PoissonArrivals(nil, 1, 1, 1, shortJob); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := PoissonArrivals(rng, 0, 1, 1, shortJob); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := PoissonArrivals(rng, 1, 0, 1, shortJob); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := PoissonArrivals(rng, 1, 1, 0, shortJob); err == nil {
+		t.Error("zero cpus accepted")
+	}
+}
+
+func TestDiurnalArrivalsModulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const base, depth, period, horizon = 100.0, 0.8, 10.0, 10.0
+	s, err := DiurnalArrivals(rng, base, depth, period, horizon, 4, shortJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first half-period (sin > 0) must carry clearly more arrivals
+	// than the second (sin < 0).
+	var first, second int
+	for _, a := range s {
+		if a.At < period/2 {
+			first++
+		} else {
+			second++
+		}
+	}
+	if first <= second {
+		t.Errorf("diurnal modulation missing: %d vs %d", first, second)
+	}
+	// Peak-to-trough ratio roughly (1+depth)/(1-depth) = 9; demand ≥ 2×.
+	if float64(first) < 2*float64(second) {
+		t.Errorf("modulation too weak: %d vs %d", first, second)
+	}
+}
+
+func TestDiurnalArrivalsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := DiurnalArrivals(rng, 1, 1.5, 1, 1, 1, shortJob); err == nil {
+		t.Error("depth > 1 accepted")
+	}
+	if _, err := DiurnalArrivals(rng, 1, 0.5, 0, 1, 1, shortJob); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := DiurnalArrivals(nil, 1, 0.5, 1, 1, 1, shortJob); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := Schedule{{At: -1, CPU: 0, Program: shortJob(0)}}
+	if bad.Validate() == nil {
+		t.Error("negative time accepted")
+	}
+	bad = Schedule{{At: 1, CPU: -1, Program: shortJob(0)}}
+	if bad.Validate() == nil {
+		t.Error("negative cpu accepted")
+	}
+	bad = Schedule{{At: 1, CPU: 0, Program: Program{}}}
+	if bad.Validate() == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestScheduleSortedStable(t *testing.T) {
+	s := Schedule{
+		{At: 2, CPU: 0, Program: shortJob(0)},
+		{At: 1, CPU: 1, Program: shortJob(1)},
+		{At: 1, CPU: 2, Program: shortJob(2)},
+	}
+	sorted := s.Sorted()
+	if sorted[0].At != 1 || sorted[1].At != 1 || sorted[2].At != 2 {
+		t.Errorf("not sorted: %+v", sorted)
+	}
+	// Stable: equal-time arrivals keep submission order.
+	if sorted[0].CPU != 1 || sorted[1].CPU != 2 {
+		t.Error("sort not stable")
+	}
+	// Original unchanged.
+	if s[0].At != 2 {
+		t.Error("Sorted mutated input")
+	}
+}

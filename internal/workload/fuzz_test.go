@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadProgram checks the profile loader never panics and never accepts
+// a profile that fails validation — arbitrary bytes either error out or
+// yield a valid Program that survives a save/load round trip.
+func FuzzLoadProgram(f *testing.F) {
+	// Seed with a real profile and mutations of it.
+	var buf bytes.Buffer
+	if err := SaveProgram(&buf, Mcf(0.01)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"name":"x","phases":[{"name":"p","alpha":1,"instructions":1}]}`)
+	f.Add(`{"name":"x","phases":[]}`)
+	f.Add(`{`)
+	f.Add(`null`)
+	f.Add(`{"name":"x","loops":-1,"loop_from":0,"phases":[{"name":"p","alpha":8,"instructions":18446744073709551615}]}`)
+
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := LoadProgram(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		if vErr := p.Validate(); vErr != nil {
+			t.Fatalf("loader accepted invalid program: %v", vErr)
+		}
+		var out bytes.Buffer
+		if err := SaveProgram(&out, p); err != nil {
+			t.Fatalf("accepted program does not save: %v", err)
+		}
+		if _, err := LoadProgram(&out); err != nil {
+			t.Fatalf("saved program does not reload: %v", err)
+		}
+	})
+}

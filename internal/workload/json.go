@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/memhier"
+)
+
+// This file provides a stable on-disk representation for workload
+// profiles, so characterisations captured on one system (e.g. counter
+// traces post-processed into phases) can be replayed in the simulator —
+// the workflow the original group used between the measurement study [2]
+// and this paper.
+
+// programJSON is the serialised form of a Program. It mirrors the public
+// structure but with explicit field names so the format survives internal
+// renames.
+type programJSON struct {
+	Name     string      `json:"name"`
+	LoopFrom int         `json:"loop_from,omitempty"`
+	Loops    int         `json:"loops,omitempty"`
+	Phases   []phaseJSON `json:"phases"`
+}
+
+type phaseJSON struct {
+	Name         string  `json:"name"`
+	Alpha        float64 `json:"alpha"`
+	L2PerInstr   float64 `json:"l2_per_instr"`
+	L3PerInstr   float64 `json:"l3_per_instr"`
+	MemPerInstr  float64 `json:"mem_per_instr"`
+	Instructions uint64  `json:"instructions"`
+	NonMemStall  float64 `json:"non_mem_stall_cycles_per_instr,omitempty"`
+}
+
+// SaveProgram writes the program as indented JSON. The program is
+// validated first; an invalid profile is never written.
+func SaveProgram(w io.Writer, p Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	out := programJSON{
+		Name:     p.Name,
+		LoopFrom: p.LoopFrom,
+		Loops:    p.Loops,
+	}
+	for _, ph := range p.Phases {
+		out.Phases = append(out.Phases, phaseJSON{
+			Name:         ph.Name,
+			Alpha:        ph.Alpha,
+			L2PerInstr:   ph.Rates.L2PerInstr,
+			L3PerInstr:   ph.Rates.L3PerInstr,
+			MemPerInstr:  ph.Rates.MemPerInstr,
+			Instructions: ph.Instructions,
+			NonMemStall:  ph.NonMemStallCyclesPerInstr,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadProgram reads a JSON profile and validates it.
+func LoadProgram(r io.Reader) (Program, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var in programJSON
+	if err := dec.Decode(&in); err != nil {
+		return Program{}, fmt.Errorf("workload: decode profile: %w", err)
+	}
+	p := Program{
+		Name:     in.Name,
+		LoopFrom: in.LoopFrom,
+		Loops:    in.Loops,
+	}
+	for _, ph := range in.Phases {
+		p.Phases = append(p.Phases, Phase{
+			Name:  ph.Name,
+			Alpha: ph.Alpha,
+			Rates: memhier.AccessRates{
+				L2PerInstr:  ph.L2PerInstr,
+				L3PerInstr:  ph.L3PerInstr,
+				MemPerInstr: ph.MemPerInstr,
+			},
+			Instructions:              ph.Instructions,
+			NonMemStallCyclesPerInstr: ph.NonMemStall,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return Program{}, err
+	}
+	return p, nil
+}

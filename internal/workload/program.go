@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+)
+
+// Program is a named sequence of phases with optional looping: after the
+// last phase completes, execution re-enters the phase at LoopFrom for Loops
+// additional iterations (Loops < 0 loops forever — how the idle loop and
+// steady-state server workloads are expressed).
+type Program struct {
+	Name     string
+	Phases   []Phase
+	LoopFrom int
+	// Loops is the number of additional passes over Phases[LoopFrom:]
+	// after the first complete pass; negative means loop forever.
+	Loops int
+}
+
+// Validate checks the program's structure and every phase.
+func (p Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: program must have a name")
+	}
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload: program %q has no phases", p.Name)
+	}
+	if p.LoopFrom < 0 || p.LoopFrom >= len(p.Phases) {
+		return fmt.Errorf("workload: program %q LoopFrom %d out of range", p.Name, p.LoopFrom)
+	}
+	for _, ph := range p.Phases {
+		if err := ph.Validate(); err != nil {
+			return fmt.Errorf("workload: program %q: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// TotalInstructions returns the program's total instruction count, or
+// (0, false) for infinite programs.
+func (p Program) TotalInstructions() (uint64, bool) {
+	if p.Loops < 0 {
+		return 0, false
+	}
+	var first, loop uint64
+	for i, ph := range p.Phases {
+		first += ph.Instructions
+		if i >= p.LoopFrom {
+			loop += ph.Instructions
+		}
+	}
+	return first + uint64(p.Loops)*loop, true
+}
+
+// Cursor tracks execution progress through a program. The machine advances
+// it instruction by instruction (in bulk).
+type Cursor struct {
+	prog      Program
+	phaseIdx  int
+	executed  uint64 // instructions executed within the current phase
+	loopsLeft int
+	done      bool
+}
+
+// NewCursor positions a cursor at the start of the program.
+func NewCursor(p Program) (*Cursor, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cursor{prog: p, loopsLeft: p.Loops}, nil
+}
+
+// Program returns the program being executed.
+func (c *Cursor) Program() Program { return c.prog }
+
+// Done reports whether the program has run to completion.
+func (c *Cursor) Done() bool { return c.done }
+
+// Current returns the phase the cursor is in. Calling Current on a done
+// cursor returns the last phase (harmless for bookkeeping).
+func (c *Cursor) Current() Phase { return c.prog.Phases[c.phaseIdx] }
+
+// PhaseIndex returns the index of the current phase.
+func (c *Cursor) PhaseIndex() int { return c.phaseIdx }
+
+// RemainingInPhase returns how many instructions are left in the current
+// phase.
+func (c *Cursor) RemainingInPhase() uint64 {
+	return c.prog.Phases[c.phaseIdx].Instructions - c.executed
+}
+
+// Advance consumes up to n instructions and returns how many were actually
+// consumed (less than n when the program completes mid-quantum). Phase
+// boundaries are honoured: the caller should re-read Current after an
+// Advance that crossed one, which it detects by comparing PhaseIndex.
+func (c *Cursor) Advance(n uint64) uint64 {
+	var consumed uint64
+	for n > 0 && !c.done {
+		rem := c.RemainingInPhase()
+		step := n
+		if step > rem {
+			step = rem
+		}
+		c.executed += step
+		consumed += step
+		n -= step
+		if c.executed == c.prog.Phases[c.phaseIdx].Instructions {
+			c.nextPhase()
+		}
+	}
+	return consumed
+}
+
+// AdvanceWithinPhase consumes up to n instructions but never crosses a
+// phase boundary; it returns the consumed count and whether the phase ended
+// exactly at the boundary. The machine uses it so each simulated quantum
+// has homogeneous characteristics.
+func (c *Cursor) AdvanceWithinPhase(n uint64) (consumed uint64, phaseEnded bool) {
+	if c.done {
+		return 0, false
+	}
+	rem := c.RemainingInPhase()
+	if n > rem {
+		n = rem
+	}
+	c.executed += n
+	if c.executed == c.prog.Phases[c.phaseIdx].Instructions {
+		c.nextPhase()
+		return n, true
+	}
+	return n, false
+}
+
+func (c *Cursor) nextPhase() {
+	c.executed = 0
+	c.phaseIdx++
+	if c.phaseIdx < len(c.prog.Phases) {
+		return
+	}
+	// End of pass: loop or finish.
+	if c.loopsLeft != 0 {
+		if c.loopsLeft > 0 {
+			c.loopsLeft--
+		}
+		c.phaseIdx = c.prog.LoopFrom
+		return
+	}
+	c.phaseIdx = len(c.prog.Phases) - 1
+	c.done = true
+}
+
+// Reset rewinds the cursor to the start of the program.
+func (c *Cursor) Reset() {
+	c.phaseIdx = 0
+	c.executed = 0
+	c.loopsLeft = c.prog.Loops
+	c.done = false
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/memhier"
+)
+
+// SyntheticConfig parameterises the paper's synthetic benchmark (§7.3): a
+// single-threaded program with two phases, each with its own length and
+// ratio of CPU-intensive to memory-intensive work, plus short
+// initialisation and termination phases (whose exclusion defines the CPU3*
+// column of Table 2). The benchmark's memory footprint is far larger than
+// L3, so an L1 miss is highly likely to become a memory access.
+type SyntheticConfig struct {
+	// Phase1Intensity and Phase2Intensity are CPU intensities in percent:
+	// 100 = pure CPU work, 0 = maximally memory-intensive.
+	Phase1Intensity float64
+	Phase2Intensity float64
+	// Phase1Instructions and Phase2Instructions are the phase lengths.
+	Phase1Instructions uint64
+	Phase2Instructions uint64
+	// Loops is how many extra times the two phases repeat after the first
+	// pass; negative loops forever.
+	Loops int
+	// IncludeInitExit adds the benchmark's initialisation (allocating and
+	// touching the large footprint — memory-heavy) and termination
+	// (reporting — CPU-ish) phases.
+	IncludeInitExit bool
+}
+
+// Synthetic workload calibration constants. The post-L1 rate ramps from
+// synBaseRate at 100% CPU intensity (even pure-CPU phases suffer some
+// memory stalls, §8.3) to synBaseRate+synRampRate at 0%. The footprint
+// routes post-L1 traffic through the miss model so most of it reaches DRAM.
+const (
+	synAlpha         = 1.4
+	synBaseRate      = 0.001
+	synRampRate      = 0.019
+	synFootprint     = int64(3) << 30 // 3 GB, ≫ 32 MB L3
+	synNonMemStall   = 0.06           // invisible-to-counters stall cycles/instr
+	synInitIntensity = 15             // init touches the whole footprint
+	synExitIntensity = 90             // exit reports results
+)
+
+// SyntheticIntensityPhase builds one phase of the synthetic benchmark at
+// the given CPU intensity (0–100) under hierarchy h.
+func SyntheticIntensityPhase(name string, intensityPct float64, instructions uint64, h memhier.Hierarchy) (Phase, error) {
+	if intensityPct < 0 || intensityPct > 100 {
+		return Phase{}, fmt.Errorf("workload: intensity %v%% out of [0,100]", intensityPct)
+	}
+	if instructions == 0 {
+		return Phase{}, fmt.Errorf("workload: phase %q needs instructions", name)
+	}
+	m := 1 - intensityPct/100
+	postL1 := synBaseRate + synRampRate*m
+	// Route post-L1 traffic through the power-law miss model with the
+	// benchmark's huge footprint; AccessesPerInstr·L1MissRatio is the
+	// post-L1 rate, split here as rate×1 for clarity.
+	model := memhier.MissModel{
+		FootprintBytes:   synFootprint,
+		AccessesPerInstr: postL1,
+		L1MissRatio:      1,
+		Theta:            0.5,
+	}
+	rates, err := model.Rates(h)
+	if err != nil {
+		return Phase{}, err
+	}
+	return Phase{
+		Name:                      name,
+		Alpha:                     synAlpha,
+		Rates:                     rates,
+		Instructions:              instructions,
+		NonMemStallCyclesPerInstr: synNonMemStall,
+	}, nil
+}
+
+// Synthetic builds the full synthetic benchmark program.
+func Synthetic(cfg SyntheticConfig, h memhier.Hierarchy) (Program, error) {
+	p1, err := SyntheticIntensityPhase(
+		fmt.Sprintf("phase1-cpu%.0f", cfg.Phase1Intensity),
+		cfg.Phase1Intensity, cfg.Phase1Instructions, h)
+	if err != nil {
+		return Program{}, err
+	}
+	p2, err := SyntheticIntensityPhase(
+		fmt.Sprintf("phase2-cpu%.0f", cfg.Phase2Intensity),
+		cfg.Phase2Intensity, cfg.Phase2Instructions, h)
+	if err != nil {
+		return Program{}, err
+	}
+
+	prog := Program{
+		Name: fmt.Sprintf("synthetic-%.0f/%.0f", cfg.Phase1Intensity, cfg.Phase2Intensity),
+	}
+	if !cfg.IncludeInitExit {
+		prog.Phases = []Phase{p1, p2}
+		prog.Loops = cfg.Loops
+		if err := prog.Validate(); err != nil {
+			return Program{}, err
+		}
+		return prog, nil
+	}
+
+	initLen := (cfg.Phase1Instructions + cfg.Phase2Instructions) / 20
+	if initLen == 0 {
+		initLen = 1
+	}
+	initPhase, err := SyntheticIntensityPhase("init", synInitIntensity, initLen, h)
+	if err != nil {
+		return Program{}, err
+	}
+	exitPhase, err := SyntheticIntensityPhase("exit", synExitIntensity, initLen, h)
+	if err != nil {
+		return Program{}, err
+	}
+	switch {
+	case cfg.Loops < 0:
+		// Infinite runs loop the measurement phases and never reach exit.
+		prog.Phases = []Phase{initPhase, p1, p2}
+		prog.LoopFrom = 1
+		prog.Loops = -1
+	default:
+		// Init once, the measurement pair 1+Loops times, exit once. The
+		// cursor's loop suffix would repeat exit too, so unroll instead.
+		prog.Phases = []Phase{initPhase}
+		for i := 0; i <= cfg.Loops; i++ {
+			prog.Phases = append(prog.Phases, p1, p2)
+		}
+		prog.Phases = append(prog.Phases, exitPhase)
+	}
+	if err := prog.Validate(); err != nil {
+		return Program{}, err
+	}
+	return prog, nil
+}
+
+// HotIdle returns the Power4+ idle loop: a tight, CPU-intensive loop with
+// an observed IPC around 1.3 (§7.1) that never touches memory and never
+// ends. Without idle detection, a scheduler dutifully runs it at maximum
+// frequency — the pathology §5 describes.
+func HotIdle() Program {
+	return Program{
+		Name: "hot-idle",
+		Phases: []Phase{{
+			Name:         "spin",
+			Alpha:        1.3,
+			Rates:        memhier.AccessRates{},
+			Instructions: 1 << 30,
+		}},
+		LoopFrom: 0,
+		Loops:    -1,
+	}
+}
+
+// InstructionsForDuration estimates how many instructions of phase p run in
+// the given number of seconds at frequency fHz (ground truth without
+// contention), for sizing workloads to target wall-clock lengths.
+func InstructionsForDuration(p Phase, h memhier.Hierarchy, fHz, seconds float64) uint64 {
+	cpi := p.TrueCyclesPerInstr(h, fHz, 1)
+	rate := fHz / cpi // instructions per second
+	n := rate * seconds
+	if n < 1 {
+		return 1
+	}
+	return uint64(n)
+}
