@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test vet race bench experiments examples fuzz clean
+.PHONY: all check build test vet race bench experiments examples fuzz clean
+
+# Default: the full pre-merge gate — compile, static checks, and the test
+# suite under the race detector (the obs registry is exercised concurrently).
+check: build vet race
 
 all: build vet test
 

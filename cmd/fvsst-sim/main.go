@@ -7,16 +7,25 @@
 //	fvsst-sim -jobs mcf,gzip,idle,idle -duration 5
 //	fvsst-sim -jobs gzip,gap,mcf,health -budget 294 -fail-at 1.5
 //	fvsst-sim -jobs synth:20,idle,idle,idle -idle-signal -epsilon 0.08
+//	fvsst-sim -jobs gzip,gap,mcf,health -budget 294 -trace out.jsonl -metrics out.prom
 //
 // Jobs are assigned to CPUs in order: gzip, gap, mcf, health, idle,
 // synth:<cpu-intensity-percent>, or file:<profile.json> (a workload
 // profile saved with workload.SaveProgram).
+//
+// Observability (see docs/observability.md): -trace streams one JSONL
+// event per scheduling decision, -metrics writes a Prometheus text-format
+// snapshot at exit, and -metrics-addr serves a live /metrics endpoint
+// while the simulation runs.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -24,6 +33,7 @@ import (
 	"repro/internal/fvsst"
 	"repro/internal/machine"
 	"repro/internal/memhier"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -69,6 +79,9 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "workload scale")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	every := flag.Int("log-every", 10, "print every n-th timer decision")
+	tracePath := flag.String("trace", "", "write one JSONL trace event per scheduling decision to this file")
+	metricsPath := flag.String("metrics", "", "write Prometheus text-format metrics to this file at exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve a live Prometheus /metrics endpoint on this address (e.g. :9090)")
 	flag.Parse()
 
 	mcfg := machine.P630Config()
@@ -116,6 +129,43 @@ func main() {
 		}
 	}
 
+	// Observability wiring: the decision trace goes to the JSONL file, the
+	// metrics aggregate everything including per-quantum power gauges.
+	var sinks []obs.Sink
+	var trace *obs.JSONLWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		trace = obs.NewJSONLWriter(f)
+		sinks = append(sinks, trace)
+	}
+	var metrics *obs.Metrics
+	if *metricsPath != "" || *metricsAddr != "" {
+		metrics = obs.NewMetrics()
+		sinks = append(sinks, metrics)
+		drv.Sink = metrics
+	}
+	if len(sinks) > 0 {
+		sched.SetSink(obs.Tee(sinks...))
+	}
+	if *metricsAddr != "" {
+		// Bind synchronously so an unusable address fails the run up
+		// front instead of racing against a short simulation.
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, metrics.Registry.Handler()); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+	}
+
 	printed := 0
 	timerSeen := 0
 	lastLogged := -1
@@ -135,15 +185,7 @@ func main() {
 				continue
 			}
 		}
-		fmt.Printf("t=%6.2fs  %-13s budget %-5v table %-5v met=%-5v ", d.At, d.Trigger, d.Budget, d.TablePower, d.BudgetMet)
-		for _, a := range d.Assignments {
-			mark := " "
-			if a.Idle {
-				mark = "*"
-			}
-			fmt.Printf(" cpu%d%s%v", a.CPU, mark, a.Actual)
-		}
-		fmt.Println()
+		fmt.Println(d)
 		printed++
 	}
 
@@ -155,5 +197,25 @@ func main() {
 	if sum, err := fvsst.Summarize(sched.Decisions()); err == nil {
 		fmt.Println()
 		fmt.Print(sum.Render())
+	}
+
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("\ndecision trace written to %s\n", *tracePath)
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metrics.Registry.WritePrometheus(f); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsPath)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/fvsst"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -90,6 +91,7 @@ type Coordinator struct {
 	collects  int
 	now       float64
 	quantum   float64
+	sink      obs.Sink
 }
 
 // New builds a coordinator over the nodes with a global processor power
@@ -136,6 +138,12 @@ func staleQuanta(rtt, quantum float64) int {
 
 // Nodes returns the cluster's nodes.
 func (c *Coordinator) Nodes() []*Node { return c.nodes }
+
+// SetSink attaches an observability sink: one obs.EventSchedule per
+// global pass (CPU traces and demotions carry the node name) and one
+// obs.EventQuantum per Step with the aggregate cluster power. A nil sink
+// — the default — disables tracing.
+func (c *Coordinator) SetSink(sink obs.Sink) { c.sink = sink }
 
 // Now returns the cluster simulation time.
 func (c *Coordinator) Now() float64 { return c.now }
@@ -198,6 +206,15 @@ func (c *Coordinator) Step() error {
 	}
 	c.now += c.quantum
 	c.collects++
+
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{
+			Type:      obs.EventQuantum,
+			At:        c.now,
+			BudgetW:   c.budget.W(),
+			CPUPowerW: c.TotalCPUPower().W(),
+		})
+	}
 
 	if c.collects%c.cfg.SchedulePeriods == 0 {
 		return c.schedule("timer")
@@ -268,7 +285,7 @@ func (c *Coordinator) schedule(trigger string) error {
 		}
 	}
 
-	actual, met, err := fvsst.FitToBudget(decs, desired, c.cfg.Table, c.budget)
+	actual, demotions, met, err := fvsst.FitToBudgetTraced(decs, desired, c.cfg.Table, c.budget)
 	if err != nil {
 		return err
 	}
@@ -309,6 +326,46 @@ func (c *Coordinator) schedule(trigger string) error {
 		BudgetMet:   met,
 		Assignments: assignments,
 	})
+	if c.sink != nil {
+		ev := obs.Event{
+			Type:         obs.EventSchedule,
+			At:           c.now,
+			Trigger:      trigger,
+			BudgetW:      c.budget.W(),
+			TablePowerW:  tablePower.W(),
+			HeadroomW:    c.budget.W() - tablePower.W(),
+			BudgetMissed: !met,
+			CPUs:         make([]obs.CPUTrace, len(assignments)),
+		}
+		for i, a := range assignments {
+			ct := obs.CPUTrace{
+				CPU:        a.Proc.CPU,
+				Node:       c.nodes[a.Proc.Node].Name,
+				Idle:       a.Idle,
+				DesiredMHz: a.Desired.MHz(),
+				ActualMHz:  a.Actual.MHz(),
+				VoltageV:   a.Voltage.V(),
+			}
+			if decs[i] != nil {
+				ct.PredictedLoss = a.PredictedLoss
+				ct.PredictedIPC = decs[i].IPCAt(a.Actual)
+			}
+			ev.CPUs[i] = ct
+		}
+		// Demotion CPU indexes refer to the flat proc list; translate them
+		// back to (node, cpu) addresses for the trace.
+		for _, dm := range demotions {
+			p := procs[dm.CPU]
+			ev.Demotions = append(ev.Demotions, obs.DemotionTrace{
+				CPU:           p.CPU,
+				Node:          c.nodes[p.Node].Name,
+				FromMHz:       dm.From.MHz(),
+				ToMHz:         dm.To.MHz(),
+				PredictedLoss: dm.PredictedLoss,
+			})
+		}
+		c.sink.Emit(ev)
+	}
 	return nil
 }
 

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+// TestCoordinatorEmitsNodeLabelledEvents: the coordinator's sink sees one
+// schedule event per global pass, with every CPU trace carrying its node
+// name, and Step-2 demotions attributed to (node, cpu) when the budget is
+// tight enough to force reductions.
+func TestCoordinatorEmitsNodeLabelledEvents(t *testing.T) {
+	// 150 W across two 4-way nodes forces Step-2 demotions every pass.
+	c := newTwoNodeCluster(t, units.Watts(150))
+	var buf obs.Buffer
+	c.SetSink(&buf)
+	if err := c.Run(0.5); err != nil {
+		t.Fatal(err)
+	}
+	schedules := buf.Count(obs.EventSchedule, "")
+	if got := len(c.Decisions()); schedules != got {
+		t.Errorf("%d schedule events for %d decisions", schedules, got)
+	}
+	if schedules == 0 {
+		t.Fatal("no schedule events")
+	}
+	if q := buf.Count(obs.EventQuantum, ""); q == 0 {
+		t.Error("no quantum events")
+	}
+	names := map[string]bool{}
+	demotions := 0
+	for _, e := range buf.Events() {
+		if e.Type != obs.EventSchedule {
+			continue
+		}
+		if len(e.CPUs) != 8 {
+			t.Fatalf("schedule event has %d CPU traces, want 8", len(e.CPUs))
+		}
+		for _, ct := range e.CPUs {
+			if ct.Node == "" {
+				t.Fatalf("CPU trace missing node name: %+v", ct)
+			}
+			names[ct.Node] = true
+		}
+		for _, dm := range e.Demotions {
+			if dm.Node == "" || dm.FromMHz <= dm.ToMHz {
+				t.Fatalf("bad demotion trace: %+v", dm)
+			}
+			demotions++
+		}
+	}
+	if len(names) != 2 {
+		t.Errorf("node names in traces = %v, want 2 nodes", names)
+	}
+	if demotions == 0 {
+		t.Error("tight budget produced no demotion traces")
+	}
+}

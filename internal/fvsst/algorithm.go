@@ -61,6 +61,17 @@ func LossAt(dec perfmodel.Decomposition, set units.FrequencySet, f units.Frequen
 	return dec.PerfLoss(set.Max(), f)
 }
 
+// Demotion records one Step-2 reduction: the budget fit lowered CPU from
+// From to To, a step predicted to cost PredictedLoss performance versus
+// f_max. The sequence of demotions is the scheduler's justification for
+// every gap between a processor's ε-constrained desire and its actual
+// setting.
+type Demotion struct {
+	CPU           int
+	From, To      units.Frequency
+	PredictedLoss float64
+}
+
 // FitToBudget performs Step 2 across all processors: given the ε-constrained
 // assignment, it lowers frequencies — always the processor whose *next
 // lower* setting has the smallest predicted loss versus f_max — until the
@@ -72,8 +83,16 @@ func LossAt(dec perfmodel.Decomposition, set units.FrequencySet, f units.Frequen
 // decs may contain a nil entry for an idle processor; idle processors are
 // treated as having zero loss at any frequency, so they are lowered first.
 func FitToBudget(decs []*perfmodel.Decomposition, assigned []units.Frequency, table *power.Table, budget units.Power) ([]units.Frequency, bool, error) {
+	out, _, met, err := FitToBudgetTraced(decs, assigned, table, budget)
+	return out, met, err
+}
+
+// FitToBudgetTraced is FitToBudget returning, in addition, the ordered
+// list of single-step reductions it took — the Step-2 attribution the
+// observability layer records per decision.
+func FitToBudgetTraced(decs []*perfmodel.Decomposition, assigned []units.Frequency, table *power.Table, budget units.Power) ([]units.Frequency, []Demotion, bool, error) {
 	if len(decs) != len(assigned) {
-		return nil, false, fmt.Errorf("fvsst: %d decompositions for %d assignments", len(decs), len(assigned))
+		return nil, nil, false, fmt.Errorf("fvsst: %d decompositions for %d assignments", len(decs), len(assigned))
 	}
 	set := table.Frequencies()
 	out := make([]units.Frequency, len(assigned))
@@ -91,13 +110,14 @@ func FitToBudget(decs []*perfmodel.Decomposition, assigned []units.Frequency, ta
 		return sum, nil
 	}
 
+	var demotions []Demotion
 	for {
 		sum, err := totalPower()
 		if err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 		if sum <= budget {
-			return out, true, nil
+			return out, demotions, true, nil
 		}
 		// Pick the processor whose next-lower setting costs least. Ties —
 		// common when several processors lack counter data (nil
@@ -121,8 +141,9 @@ func FitToBudget(decs []*perfmodel.Decomposition, assigned []units.Frequency, ta
 			}
 		}
 		if best < 0 {
-			return out, false, nil // floor reached, budget still exceeded
+			return out, demotions, false, nil // floor reached, budget still exceeded
 		}
+		demotions = append(demotions, Demotion{CPU: best, From: out[best], To: bestF, PredictedLoss: bestLoss})
 		out[best] = bestF
 	}
 }

@@ -2,8 +2,10 @@ package fvsst
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/telemetry"
 	"repro/internal/units"
@@ -31,9 +33,16 @@ type Driver struct {
 	// system overloads the surviving supplies for longer than ΔT.
 	Plant *power.Plant
 	// Recorder, when non-nil, receives per-quantum traces. TraceCPU
-	// selects the processor traced in the per-CPU series.
+	// selects the processor traced in the per-CPU series: a CPU index in
+	// [0, NumCPUs), or the sentinel -1 (the NewDriver default) to disable
+	// the per-CPU series while keeping the machine-wide ones. Any other
+	// value is rejected by Step.
 	Recorder *telemetry.Recorder
 	TraceCPU int
+	// Sink, when non-nil, receives one obs.EventQuantum per Step with the
+	// machine's power draw and the active budget — the quantum-granularity
+	// companion to the scheduler's per-decision events.
+	Sink obs.Sink
 
 	prevIdle []bool
 	started  bool
@@ -47,6 +56,9 @@ func NewDriver(m *machine.Machine, s *Scheduler) *Driver {
 // Step advances the coupled system by one dispatch quantum.
 func (d *Driver) Step() error {
 	if !d.started {
+		if d.TraceCPU < -1 || d.TraceCPU >= d.M.NumCPUs() {
+			return fmt.Errorf("fvsst: TraceCPU %d outside [0,%d) and not the -1 sentinel", d.TraceCPU, d.M.NumCPUs())
+		}
 		d.prevIdle = make([]bool, d.M.NumCPUs())
 		for i := range d.prevIdle {
 			d.prevIdle[i] = d.M.IsIdle(i)
@@ -129,6 +141,15 @@ func (d *Driver) Step() error {
 	}
 
 	d.record()
+	if d.Sink != nil {
+		d.Sink.Emit(obs.Event{
+			Type:         obs.EventQuantum,
+			At:           d.M.Now(),
+			BudgetW:      d.S.Budget().W(),
+			SystemPowerW: d.M.SystemPower().W(),
+			CPUPowerW:    d.M.TotalCPUPower().W(),
+		})
+	}
 	return nil
 }
 

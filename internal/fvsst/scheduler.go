@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/counters"
 	"repro/internal/memhier"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -177,6 +178,13 @@ type Assignment struct {
 	PredictedIPC float64
 	// ObservedIPC is the window's measured IPC (for the Table 2 study).
 	ObservedIPC float64
+	// PredictionError is the relative error of the *previous* pass's IPC
+	// prediction against this window's observation ((obs − pred)/pred) —
+	// the Table 2 accuracy quantity computed online, one period late.
+	// Meaningful only when PredictionValid: the processor must have been
+	// busy and predicted on both passes.
+	PredictionError float64
+	PredictionValid bool
 	// Idle reports whether the processor was treated as idle.
 	Idle bool
 }
@@ -189,6 +197,9 @@ type Decision struct {
 	TablePower  units.Power
 	BudgetMet   bool
 	Assignments []Assignment
+	// Demotions is the ordered list of Step-2 reductions this pass took
+	// to fit the budget — why Actual sits below Desired where it does.
+	Demotions []Demotion
 }
 
 // Scheduler is the fvsst daemon. It is single-threaded like the prototype:
@@ -209,6 +220,12 @@ type Scheduler struct {
 	// lastDesired/desireStreak back the debounce filter.
 	lastDesired  []units.Frequency
 	desireStreak []int
+	// lastPredIPC/lastPredValid hold each CPU's previous-pass IPC
+	// prediction so the next pass can score it against observation.
+	lastPredIPC   []float64
+	lastPredValid []bool
+	// sink, when non-nil, receives one obs.EventSchedule per pass.
+	sink obs.Sink
 }
 
 // New builds a scheduler over the target with an initial processor power
@@ -235,18 +252,26 @@ func New(cfg Config, target Target, budget units.Power) (*Scheduler, error) {
 		return nil, fmt.Errorf("fvsst: %d voltage tables for %d CPUs", len(cfg.VoltageTables), target.NumCPUs())
 	}
 	return &Scheduler{
-		cfg:          cfg,
-		target:       target,
-		sampler:      sampler,
-		predictor:    pred,
-		budget:       budget,
-		set:          cfg.Table.Frequencies(),
-		prevObs:      make([]perfmodel.Observation, target.NumCPUs()),
-		prevValid:    make([]bool, target.NumCPUs()),
-		lastDesired:  make([]units.Frequency, target.NumCPUs()),
-		desireStreak: make([]int, target.NumCPUs()),
+		cfg:           cfg,
+		target:        target,
+		sampler:       sampler,
+		predictor:     pred,
+		budget:        budget,
+		set:           cfg.Table.Frequencies(),
+		prevObs:       make([]perfmodel.Observation, target.NumCPUs()),
+		prevValid:     make([]bool, target.NumCPUs()),
+		lastDesired:   make([]units.Frequency, target.NumCPUs()),
+		desireStreak:  make([]int, target.NumCPUs()),
+		lastPredIPC:   make([]float64, target.NumCPUs()),
+		lastPredValid: make([]bool, target.NumCPUs()),
 	}, nil
 }
+
+// SetSink attaches an observability sink that receives one structured
+// trace event per scheduling pass (see internal/obs). A nil sink — the
+// default — disables tracing; the only hot-path cost left is a pointer
+// test, proven by the sink benchmarks in bench_test.go.
+func (s *Scheduler) SetSink(sink obs.Sink) { s.sink = sink }
 
 // Config returns the scheduler's configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
@@ -354,6 +379,7 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 	desired := make([]units.Frequency, n)
 	decs := make([]*perfmodel.Decomposition, n)
 	observed := make([]float64, n)
+	obsOK := make([]bool, n)
 	idle := make([]bool, n)
 
 	// Step 1: ε-constrained frequency per processor.
@@ -376,6 +402,7 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 		}
 		decs[cpu] = &dec
 		observed[cpu] = obs.Delta.IPC()
+		obsOK[cpu] = true
 		if s.cfg.UseIdealFrequency {
 			f, err := IdealEpsilonFrequency(dec, s.set, s.cfg.Epsilon)
 			if err != nil {
@@ -406,8 +433,9 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 		}
 	}
 
-	// Step 2: fit the aggregate power to the budget.
-	actual, met, err := FitToBudget(decs, desired, s.cfg.Table, s.budget)
+	// Step 2: fit the aggregate power to the budget, recording every
+	// reduction for the decision's demotion attribution.
+	actual, demotions, met, err := FitToBudgetTraced(decs, desired, s.cfg.Table, s.budget)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -445,6 +473,18 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 			a.PredictedIPC = decs[cpu].IPCAt(actual[cpu])
 			a.ObservedIPC = observed[cpu]
 		}
+		// Score the previous pass's prediction against the window that
+		// just elapsed, then bank this pass's prediction for the next.
+		if obsOK[cpu] && s.lastPredValid[cpu] && s.lastPredIPC[cpu] > 0 {
+			a.PredictionError = (observed[cpu] - s.lastPredIPC[cpu]) / s.lastPredIPC[cpu]
+			a.PredictionValid = true
+		}
+		if decs[cpu] != nil {
+			s.lastPredIPC[cpu] = a.PredictedIPC
+			s.lastPredValid[cpu] = true
+		} else {
+			s.lastPredValid[cpu] = false
+		}
 		assignments[cpu] = a
 	}
 	tablePower, err := TotalTablePower(actual, s.cfg.Table)
@@ -458,8 +498,12 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 		TablePower:  tablePower,
 		BudgetMet:   met,
 		Assignments: assignments,
+		Demotions:   demotions,
 	}
 	s.decisions = append(s.decisions, d)
+	if s.sink != nil {
+		s.sink.Emit(d.Event())
+	}
 	return d, nil
 }
 

@@ -13,7 +13,7 @@ import (
 )
 
 // quietMachine returns a noise-free p630 for exact assertions.
-func quietMachine(t *testing.T) *machine.Machine {
+func quietMachine(t testing.TB) *machine.Machine {
 	t.Helper()
 	cfg := machine.P630Config()
 	cfg.LatencyJitterSigma = 0

@@ -20,6 +20,8 @@ type Summary struct {
 	// BudgetMisses counts decisions where even the frequency floor could
 	// not meet the budget.
 	BudgetMisses int
+	// Demotions counts Step-2 single-step reductions across the run.
+	Demotions int
 	// PerCPU holds per-processor aggregates indexed by CPU id.
 	PerCPU []CPUSummary
 }
@@ -38,6 +40,9 @@ type CPUSummary struct {
 	ClippedFraction float64
 	// IdleFraction is the share of decisions that saw the processor idle.
 	IdleFraction float64
+	// Demotions counts the Step-2 reductions that landed on this
+	// processor across the run.
+	Demotions int
 }
 
 // Summarize builds a Summary from a decision log.
@@ -54,6 +59,7 @@ func Summarize(decisions []Decision) (*Summary, error) {
 	hists := make([]*stats.Histogram, n)
 	clipped := make([]int, n)
 	idle := make([]int, n)
+	demoted := make([]int, n)
 	var freqSum []float64 = make([]float64, n)
 	for cpu := range hists {
 		hists[cpu] = stats.NewHistogram()
@@ -76,6 +82,12 @@ func Summarize(decisions []Decision) (*Summary, error) {
 				idle[cpu]++
 			}
 		}
+		for _, dm := range d.Demotions {
+			s.Demotions++
+			if dm.CPU >= 0 && dm.CPU < n {
+				demoted[dm.CPU]++
+			}
+		}
 	}
 	for cpu := 0; cpu < n; cpu++ {
 		cs := CPUSummary{
@@ -84,6 +96,7 @@ func Summarize(decisions []Decision) (*Summary, error) {
 			Residency:       map[float64]float64{},
 			ClippedFraction: float64(clipped[cpu]) / float64(len(decisions)),
 			IdleFraction:    float64(idle[cpu]) / float64(len(decisions)),
+			Demotions:       demoted[cpu],
 		}
 		bins, fracs := hists[cpu].Fractions()
 		for i, b := range bins {
@@ -97,8 +110,8 @@ func Summarize(decisions []Decision) (*Summary, error) {
 // Render formats the summary as text.
 func (s *Summary) Render() string {
 	t := telemetry.Table{
-		Title:   fmt.Sprintf("fvsst run summary: %d decisions, %d budget misses", s.Decisions, s.BudgetMisses),
-		Headers: []string{"CPU", "mean f", "clipped", "idle", "top residencies"},
+		Title:   fmt.Sprintf("fvsst run summary: %d decisions, %d budget misses, %d demotions", s.Decisions, s.BudgetMisses, s.Demotions),
+		Headers: []string{"CPU", "mean f", "clipped", "idle", "demoted", "top residencies"},
 	}
 	for _, c := range s.PerCPU {
 		type bin struct {
@@ -124,6 +137,7 @@ func (s *Summary) Render() string {
 			fmt.Sprintf("%.0fMHz", c.MeanFreqMHz),
 			fmt.Sprintf("%.0f%%", c.ClippedFraction*100),
 			fmt.Sprintf("%.0f%%", c.IdleFraction*100),
+			fmt.Sprintf("%d", c.Demotions),
 			top,
 		)
 	}

@@ -1,0 +1,67 @@
+package fvsst
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Event converts the decision into its structured trace event: the
+// trigger, per-CPU Step-1 desire / Step-2 actual / Step-3 voltage, the
+// Step-2 demotion list with per-step predicted losses, budget headroom
+// and the one-period-late prediction error.
+func (d Decision) Event() obs.Event {
+	ev := obs.Event{
+		Type:         obs.EventSchedule,
+		At:           d.At,
+		Trigger:      d.Trigger,
+		BudgetW:      d.Budget.W(),
+		TablePowerW:  d.TablePower.W(),
+		HeadroomW:    d.Budget.W() - d.TablePower.W(),
+		BudgetMissed: !d.BudgetMet,
+		CPUs:         make([]obs.CPUTrace, len(d.Assignments)),
+	}
+	for i, a := range d.Assignments {
+		ev.CPUs[i] = obs.CPUTrace{
+			CPU:           a.CPU,
+			Idle:          a.Idle,
+			DesiredMHz:    a.Desired.MHz(),
+			ActualMHz:     a.Actual.MHz(),
+			VoltageV:      a.Voltage.V(),
+			PredictedLoss: a.PredictedLoss,
+			PredictedIPC:  a.PredictedIPC,
+			ObservedIPC:   a.ObservedIPC,
+			IPCError:      a.PredictionError,
+			IPCErrorValid: a.PredictionValid,
+		}
+	}
+	for _, dm := range d.Demotions {
+		ev.Demotions = append(ev.Demotions, obs.DemotionTrace{
+			CPU:           dm.CPU,
+			FromMHz:       dm.From.MHz(),
+			ToMHz:         dm.To.MHz(),
+			PredictedLoss: dm.PredictedLoss,
+		})
+	}
+	return ev
+}
+
+// String renders the decision on one line — the canonical form shared by
+// the fvsst-sim log and anything else printing decisions:
+//
+//	t=  0.20s timer         budget 560W table 311W met=true   cpu0 1GHz/1.5V cpu1*250MHz/1.2V ...
+//
+// An asterisk marks a processor treated as idle.
+func (d Decision) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=%6.2fs %-13s budget %-5v table %-5v met=%-5v", d.At, d.Trigger, d.Budget, d.TablePower, d.BudgetMet)
+	for _, a := range d.Assignments {
+		mark := " "
+		if a.Idle {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, " cpu%d%s%v/%v", a.CPU, mark, a.Actual, a.Voltage)
+	}
+	return sb.String()
+}

@@ -3,6 +3,7 @@ package fvsst
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -56,6 +57,114 @@ func TestIdleTransitionTrigger(t *testing.T) {
 	if a := transition.Assignments[2]; !a.Idle || a.Actual != units.MHz(250) {
 		t.Errorf("transition decision did not park cpu2: %+v", a)
 	}
+}
+
+// TestTriggerAttribution: each of the paper's reschedule causes — the
+// startup pass, the periodic timer, a budget change and an idle
+// transition — produces exactly one trace event carrying its trigger
+// label, and the event stream mirrors the decision log one-to-one.
+func TestTriggerAttribution(t *testing.T) {
+	cases := []struct {
+		name    string
+		trigger string
+		until   float64
+		setup   func(t *testing.T) (*Driver, *Scheduler)
+	}{
+		{
+			// Only the initial pass before the first timer period.
+			name: "startup", trigger: "startup", until: 0.05,
+			setup: busyDriver,
+		},
+		{
+			// One full period elapses before the deadline: one timer pass.
+			name: "timer", trigger: "timer", until: 0.15,
+			setup: busyDriver,
+		},
+		{
+			// A budget drop mid-period, off the timer grid.
+			name: "budget-change", trigger: "budget-change", until: 0.18,
+			setup: func(t *testing.T) (*Driver, *Scheduler) {
+				drv, s := busyDriver(t)
+				budgets, err := power.NewBudgetSchedule(units.Watts(560),
+					power.BudgetEvent{At: 0.12, Budget: units.Watts(294)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				drv.Budgets = budgets
+				return drv, s
+			},
+		},
+		{
+			// A job completing mid-period with the idle signal enabled.
+			name: "idle-transition", trigger: "idle-transition", until: 0.28,
+			setup: func(t *testing.T) (*Driver, *Scheduler) {
+				m := quietMachine(t)
+				mix, err := workload.NewMix(workload.Program{Name: "short", Phases: []workload.Phase{
+					{Name: "c", Alpha: 1.4, Instructions: 320e6},
+				}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.SetMix(2, mix); err != nil {
+					t.Fatal(err)
+				}
+				cfg := noOverheadConfig()
+				cfg.UseIdleSignal = true
+				s, err := New(cfg, m, units.Watts(560))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return NewDriver(m, s), s
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			drv, s := tc.setup(t)
+			var buf obs.Buffer
+			s.SetSink(&buf)
+			if err := drv.Run(tc.until); err != nil {
+				t.Fatal(err)
+			}
+			if got := buf.Count(obs.EventSchedule, tc.trigger); got != 1 {
+				t.Errorf("%d trace events with trigger %q, want exactly 1", got, tc.trigger)
+			}
+			decs := s.Decisions()
+			events := buf.Events()
+			if len(events) != len(decs) {
+				t.Fatalf("%d trace events for %d decisions", len(events), len(decs))
+			}
+			for i, e := range events {
+				if e.Trigger != decs[i].Trigger || e.At != decs[i].At {
+					t.Errorf("event %d = (%q, %v), decision = (%q, %v)",
+						i, e.Trigger, e.At, decs[i].Trigger, decs[i].At)
+				}
+				if len(e.CPUs) != len(decs[i].Assignments) {
+					t.Errorf("event %d has %d CPU traces for %d assignments", i, len(e.CPUs), len(decs[i].Assignments))
+				}
+			}
+		})
+	}
+}
+
+// busyDriver couples a quiet machine running four long CPU-bound jobs
+// with a freshly built scheduler.
+func busyDriver(t *testing.T) (*Driver, *Scheduler) {
+	m := quietMachine(t)
+	for cpu := 0; cpu < 4; cpu++ {
+		mix, err := workload.NewMix(cpuProgram("cpu", 1e12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetMix(cpu, mix); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(noOverheadConfig(), m, units.Watts(560))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDriver(m, s), s
 }
 
 // TestBudgetChangePreemptsTimer: when a budget event and a timer pass land

@@ -1,0 +1,85 @@
+// Package obs is the scheduler observability layer: structured decision
+// tracing plus a lock-safe metrics registry with Prometheus text-exposition
+// and JSONL export. The paper's daemon justifies every frequency/voltage
+// assignment with counter-derived predictions (Figure 3); this package
+// records those justifications — which trigger fired, each processor's
+// Step-1 ε-choice, every Step-2 budget demotion with its predicted loss,
+// the Step-3 voltages, and the prediction error observed one period later
+// — so a run can be audited decision by decision instead of eyeballed
+// from a flat log.
+//
+// The package deliberately has no dependencies beyond the standard
+// library and internal/stats, so every layer of the stack (scheduler,
+// driver, cluster coordinator, binaries) can emit into it without import
+// cycles. Producers hold a Sink; a nil Sink disables tracing with no
+// hot-path cost beyond one pointer test.
+package obs
+
+// Event types. Producers set Type to one of these; consumers that only
+// understand a subset ignore the rest.
+const (
+	// EventSchedule is one complete scheduling pass (Figure 3 Steps 1–3).
+	EventSchedule = "schedule"
+	// EventQuantum is one dispatch quantum of machine state (power draw).
+	EventQuantum = "quantum"
+)
+
+// Event is one structured trace record. A single flat type covers all
+// event kinds — unused fields are omitted from the JSON rendering — so a
+// JSONL trace file is a homogeneous, greppable stream.
+type Event struct {
+	// Type discriminates the event kind (EventSchedule, EventQuantum).
+	Type string `json:"type"`
+	// At is the simulation timestamp in seconds.
+	At float64 `json:"t"`
+	// Node names the emitting cluster node, empty on a single machine.
+	Node string `json:"node,omitempty"`
+
+	// Schedule-pass fields.
+	Trigger      string          `json:"trigger,omitempty"`
+	BudgetW      float64         `json:"budget_w,omitempty"`
+	TablePowerW  float64         `json:"table_power_w,omitempty"`
+	HeadroomW    float64         `json:"headroom_w,omitempty"`
+	BudgetMissed bool            `json:"budget_missed,omitempty"`
+	CPUs         []CPUTrace      `json:"cpus,omitempty"`
+	Demotions    []DemotionTrace `json:"demotions,omitempty"`
+
+	// Quantum fields.
+	SystemPowerW float64 `json:"system_power_w,omitempty"`
+	CPUPowerW    float64 `json:"cpu_power_w,omitempty"`
+}
+
+// CPUTrace is one processor's slice of a scheduling decision: the Step-1
+// ε-constrained desire, the Step-2 post-budget actual, the Step-3 voltage
+// and the prediction bookkeeping.
+type CPUTrace struct {
+	CPU  int    `json:"cpu"`
+	Node string `json:"node,omitempty"`
+	Idle bool   `json:"idle,omitempty"`
+	// DesiredMHz is the Step-1 ε-choice; ActualMHz what Step 2 left.
+	DesiredMHz float64 `json:"desired_mhz"`
+	ActualMHz  float64 `json:"actual_mhz"`
+	// VoltageV is the Step-3 minimum voltage for ActualMHz.
+	VoltageV float64 `json:"voltage_v"`
+	// PredictedLoss is the predicted performance loss at ActualMHz vs
+	// f_max; PredictedIPC the predicted IPC at ActualMHz.
+	PredictedLoss float64 `json:"predicted_loss,omitempty"`
+	PredictedIPC  float64 `json:"predicted_ipc,omitempty"`
+	// ObservedIPC is the elapsed window's measured IPC.
+	ObservedIPC float64 `json:"observed_ipc,omitempty"`
+	// IPCError is the relative error of the *previous* pass's IPC
+	// prediction against this window's observation ((obs−pred)/pred),
+	// valid only when IPCErrorValid — the online version of Table 2.
+	IPCError      float64 `json:"ipc_error,omitempty"`
+	IPCErrorValid bool    `json:"ipc_error_valid,omitempty"`
+}
+
+// DemotionTrace is one Step-2 reduction: the budget fit lowered a
+// processor one table step at the stated predicted loss versus f_max.
+type DemotionTrace struct {
+	CPU           int     `json:"cpu"`
+	Node          string  `json:"node,omitempty"`
+	FromMHz       float64 `json:"from_mhz"`
+	ToMHz         float64 `json:"to_mhz"`
+	PredictedLoss float64 `json:"predicted_loss"`
+}

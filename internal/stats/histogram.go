@@ -79,3 +79,77 @@ func (h *Histogram) Merge(other *Histogram) {
 		h.total += w
 	}
 }
+
+// BucketHistogram is a fixed-bucket histogram in the Prometheus style:
+// ascending upper bounds declared up front, an implicit +Inf overflow
+// bucket, and a running sum/count. Unlike Histogram (which bins exact
+// values, e.g. the discrete frequency settings of Figure 8) it is meant
+// for continuous quantities such as prediction error or per-step loss.
+// It is not safe for concurrent use; callers wanting shared access wrap
+// it in a lock (internal/obs does).
+type BucketHistogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the +Inf overflow bucket
+	sum    float64
+	n      uint64
+}
+
+// NewBucketHistogram builds a histogram over strictly ascending upper
+// bounds. At least one bound is required.
+func NewBucketHistogram(bounds ...float64) (*BucketHistogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("stats: bucket histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: bucket bounds not ascending at %v", bounds[i])
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &BucketHistogram{bounds: b, counts: make([]uint64, len(b)+1)}, nil
+}
+
+// MustBucketHistogram is NewBucketHistogram for literal bound lists; it
+// panics on error.
+func MustBucketHistogram(bounds ...float64) *BucketHistogram {
+	h, err := NewBucketHistogram(bounds...)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe records one value into the first bucket whose bound is ≥ v (the
+// overflow bucket when none is).
+func (h *BucketHistogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *BucketHistogram) Count() uint64 { return h.n }
+
+// Sum returns the sum of all observed values.
+func (h *BucketHistogram) Sum() float64 { return h.sum }
+
+// Bounds returns the finite upper bounds in ascending order.
+func (h *BucketHistogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Cumulative returns the cumulative count at each finite bound, i.e. the
+// Prometheus `le` series without the +Inf entry (which equals Count).
+func (h *BucketHistogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.bounds))
+	var run uint64
+	for i := range h.bounds {
+		run += h.counts[i]
+		out[i] = run
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package stats
+
+import "testing"
+
+func TestBucketHistogramValidation(t *testing.T) {
+	if _, err := NewBucketHistogram(); err == nil {
+		t.Error("empty bound list accepted")
+	}
+	if _, err := NewBucketHistogram(1, 1); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := NewBucketHistogram(2, 1); err == nil {
+		t.Error("descending bounds accepted")
+	}
+}
+
+func TestBucketHistogramObserve(t *testing.T) {
+	h := MustBucketHistogram(0.01, 0.05, 0.25)
+	for _, v := range []float64{0.005, 0.01, 0.02, 0.1, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.02+0.1+0.5+2; got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	// Values at a bound land in that bound's bucket (le semantics).
+	cum := h.Cumulative()
+	if cum[0] != 2 || cum[1] != 3 || cum[2] != 4 {
+		t.Errorf("cumulative = %v", cum)
+	}
+	if got := h.Bounds(); len(got) != 3 || got[0] != 0.01 {
+		t.Errorf("bounds = %v", got)
+	}
+}
+
+func TestBucketHistogramOverflowOnly(t *testing.T) {
+	h := MustBucketHistogram(1)
+	h.Observe(10)
+	if cum := h.Cumulative(); cum[0] != 0 {
+		t.Errorf("cumulative = %v", cum)
+	}
+	if h.Count() != 1 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
