@@ -1,0 +1,319 @@
+// Command fvsst-cluster runs the networked cluster control plane on
+// loopback: it spawns N node agents — each wrapping a simulated SMP and
+// serving the wire protocol over TCP — and one coordinator enforcing a
+// global power budget across them, then drives a fault scenario through
+// the deterministic faultnet fabric: the budget drops mid-run and one
+// node is partitioned away and rejoins.
+//
+// Usage examples:
+//
+//	fvsst-cluster
+//	fvsst-cluster -nodes 3 -budget 900 -drop-to 600 -drop-at 1 \
+//	    -partition 1 -partition-at 0.5 -partition-for 2 -duration 4
+//	fvsst-cluster -trace out.jsonl -metrics out.prom -seed 7
+//
+// Times are simulated seconds. The run prints every scheduling decision
+// of interest (budget changes, degraded rounds, every -log-every'th
+// timer round), every degrade/rejoin/failsafe transition, and a budget
+// safety summary: the run fails if the power charged against the budget
+// — live assignments plus worst-case reservations for silent nodes —
+// ever exceeds it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/fvsst"
+	"repro/internal/machine"
+	"repro/internal/netcluster"
+	"repro/internal/netcluster/faultnet"
+	"repro/internal/obs"
+	"repro/internal/power"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// options is the flag set, separated from main so tests can drive runs.
+type options struct {
+	nodes        int
+	budgetW      float64
+	dropToW      float64
+	dropAt       float64
+	partition    int
+	partitionAt  float64
+	partitionFor float64
+	duration     float64
+	epsilon      float64
+	scale        float64
+	seed         int64
+	missK        int
+	rpcTimeout   time.Duration
+	lease        time.Duration
+	logEvery     int
+	tracePath    string
+	metricsPath  string
+}
+
+// result summarises a run for the safety check and the smoke test.
+type result struct {
+	decisions  []netcluster.Decision
+	status     []netcluster.NodeStatus
+	violations int
+	degrades   int
+	rejoins    int
+}
+
+// transitionLog prints and counts degrade/rejoin/failsafe events as they
+// happen.
+type transitionLog struct {
+	w        io.Writer
+	degrades int
+	rejoins  int
+}
+
+func (l *transitionLog) Emit(e obs.Event) {
+	switch e.Type {
+	case obs.EventDegrade:
+		l.degrades++
+	case obs.EventRejoin:
+		l.rejoins++
+	case obs.EventFailsafe:
+	default:
+		return
+	}
+	fmt.Fprintf(l.w, "t=%.2f  %-8s %-6s %s\n", e.At, strings.ToUpper(e.Type), e.Node, e.Detail)
+}
+
+// apps rotate across the cluster's CPUs so every node carries a mixed
+// load.
+var apps = []string{"gzip", "mcf", "gap", "health"}
+
+func buildAgents(o options, sink obs.Sink) ([]*netcluster.Agent, []netcluster.NodeSpec, error) {
+	agents := make([]*netcluster.Agent, o.nodes)
+	specs := make([]netcluster.NodeSpec, o.nodes)
+	for i := 0; i < o.nodes; i++ {
+		mcfg := machine.P630Config()
+		mcfg.Seed = o.seed + int64(i)
+		m, err := machine.New(mcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		for cpu := 0; cpu < mcfg.NumCPUs; cpu++ {
+			prog, err := workload.App(apps[(i+cpu)%len(apps)], workload.AppScale(o.scale))
+			if err != nil {
+				return nil, nil, err
+			}
+			mix, err := workload.NewMix(prog)
+			if err != nil {
+				return nil, nil, err
+			}
+			if err := m.SetMix(cpu, mix); err != nil {
+				return nil, nil, err
+			}
+		}
+		name := fmt.Sprintf("node%d", i)
+		a, err := netcluster.NewAgent(netcluster.AgentConfig{
+			Name:          name,
+			M:             m,
+			FailsafeLease: o.lease,
+			Sink:          sink,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := a.Start(); err != nil {
+			return nil, nil, err
+		}
+		agents[i] = a
+		specs[i] = netcluster.NodeSpec{Name: name, Addr: a.Addr()}
+	}
+	return agents, specs, nil
+}
+
+func run(o options, out io.Writer) (result, error) {
+	var res result
+	if o.nodes < 1 {
+		return res, fmt.Errorf("need at least one node")
+	}
+	if o.partition >= o.nodes {
+		return res, fmt.Errorf("partition target %d out of range for %d nodes", o.partition, o.nodes)
+	}
+
+	transitions := &transitionLog{w: out}
+	sinks := []obs.Sink{transitions}
+	var trace *obs.JSONLWriter
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return res, err
+		}
+		defer f.Close()
+		trace = obs.NewJSONLWriter(f)
+		sinks = append(sinks, trace)
+	}
+	sink := obs.Tee(sinks...)
+
+	agents, specs, err := buildAgents(o, sink)
+	if err != nil {
+		return res, err
+	}
+	defer func() {
+		for _, a := range agents {
+			if a != nil {
+				a.Close()
+			}
+		}
+	}()
+
+	fabric := faultnet.New(o.seed + 1000)
+	cfg := fvsst.DefaultConfig()
+	cfg.Epsilon = o.epsilon
+	cfg.UseIdleSignal = true
+	ccfg := netcluster.Config{
+		Fvsst:      cfg,
+		Budget:     units.Watts(o.budgetW),
+		MissK:      o.missK,
+		RPCTimeout: o.rpcTimeout,
+		Seed:       o.seed,
+		Dialer:     fabric,
+		Sink:       sink,
+		Metrics:    netcluster.NewMetrics(),
+	}
+	if o.dropToW > 0 && o.dropAt > 0 {
+		ccfg.Budgets, err = power.NewBudgetSchedule(units.Watts(o.budgetW),
+			power.BudgetEvent{At: o.dropAt, Budget: units.Watts(o.dropToW), Label: "budget drop"})
+		if err != nil {
+			return res, err
+		}
+	}
+	coord, err := netcluster.NewCoordinator(ccfg, specs...)
+	if err != nil {
+		return res, err
+	}
+	if err := coord.Connect(); err != nil {
+		return res, err
+	}
+	defer coord.Close()
+
+	partitionName := ""
+	if o.partition >= 0 {
+		partitionName = specs[o.partition].Name
+	}
+	partitionEnd := o.partitionAt + o.partitionFor
+	cut := false
+	timerRounds := 0
+	fmt.Fprintf(out, "%d nodes up; budget %.0fW; seed %d\n", o.nodes, o.budgetW, o.seed)
+	for coord.Now() < o.duration {
+		now := coord.Now()
+		if partitionName != "" {
+			if !cut && now >= o.partitionAt && now < partitionEnd {
+				fabric.Partition(partitionName)
+				cut = true
+				fmt.Fprintf(out, "t=%.2f  PARTITION %s cut off\n", now, partitionName)
+			}
+			if cut && now >= partitionEnd {
+				fabric.Heal(partitionName)
+				cut = false
+				fmt.Fprintf(out, "t=%.2f  HEAL     %s reachable again\n", now, partitionName)
+			}
+		}
+		if err := coord.RunRound(); err != nil {
+			return res, err
+		}
+		d := coord.Decisions()[len(coord.Decisions())-1]
+		if d.Charged > d.Budget {
+			res.violations++
+		}
+		interesting := d.Trigger != "timer" || len(d.Degraded) > 0 || d.Charged > d.Budget
+		if d.Trigger == "timer" {
+			timerRounds++
+		}
+		if interesting || (o.logEvery > 0 && timerRounds%o.logEvery == 0) {
+			degraded := ""
+			if len(d.Degraded) > 0 {
+				degraded = "  degraded=" + strings.Join(d.Degraded, ",")
+			}
+			fmt.Fprintf(out, "t=%.2f  %-13s budget=%v charged=%v reserved=%v met=%v%s\n",
+				d.At, d.Trigger, d.Budget, d.Charged, d.Reserved, d.BudgetMet, degraded)
+		}
+	}
+
+	res.decisions = coord.Decisions()
+	res.status = coord.Status()
+	res.degrades = transitions.degrades
+	res.rejoins = transitions.rejoins
+
+	fmt.Fprintf(out, "\nfinished at t=%.2fs after %d rounds\n", coord.Now(), len(res.decisions))
+	for _, st := range res.status {
+		state := "ok"
+		if st.Degraded {
+			state = "DEGRADED"
+		}
+		fmt.Fprintf(out, "  %-6s %-8s charge-if-silent %v\n", st.Name, state, st.ChargedIfSilent)
+	}
+	worst := 0.0
+	for _, d := range res.decisions {
+		if r := d.Charged.W() / d.Budget.W(); r > worst {
+			worst = r
+		}
+	}
+	fmt.Fprintf(out, "budget safety: %d violations across %d rounds; peak charged/budget %.0f%%\n",
+		res.violations, len(res.decisions), 100*worst)
+
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(out, "decision trace written to %s\n", o.tracePath)
+	}
+	if o.metricsPath != "" {
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			return res, err
+		}
+		if err := ccfg.Metrics.Registry.WritePrometheus(f); err != nil {
+			return res, err
+		}
+		if err := f.Close(); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(out, "metrics written to %s\n", o.metricsPath)
+	}
+	return res, nil
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.nodes, "nodes", 3, "number of node agents to spawn")
+	flag.Float64Var(&o.budgetW, "budget", 900, "initial global CPU power budget (watts)")
+	flag.Float64Var(&o.dropToW, "drop-to", 600, "budget after the drop (watts, 0 = never drops)")
+	flag.Float64Var(&o.dropAt, "drop-at", 1, "simulated time of the budget drop (seconds, 0 = never)")
+	flag.IntVar(&o.partition, "partition", 1, "node index to partition (-1 = none)")
+	flag.Float64Var(&o.partitionAt, "partition-at", 0.5, "simulated time the partition starts")
+	flag.Float64Var(&o.partitionFor, "partition-for", 2, "simulated seconds the partition lasts")
+	flag.Float64Var(&o.duration, "duration", 4, "simulated seconds to run")
+	flag.Float64Var(&o.epsilon, "epsilon", 0.05, "acceptable performance loss ε")
+	flag.Float64Var(&o.scale, "scale", 0.5, "workload scale")
+	flag.Int64Var(&o.seed, "seed", 1, "scenario seed (machines, fault fabric, retry jitter)")
+	flag.IntVar(&o.missK, "miss-k", 3, "consecutive missed rounds before a node is marked degraded")
+	flag.DurationVar(&o.rpcTimeout, "rpc-timeout", 100*time.Millisecond, "per-attempt RPC deadline")
+	flag.DurationVar(&o.lease, "lease", time.Second, "agent failsafe lease (0 disables the watchdog)")
+	flag.IntVar(&o.logEvery, "log-every", 5, "print every n-th routine timer decision")
+	flag.StringVar(&o.tracePath, "trace", "", "write one JSONL trace event per decision/transition to this file")
+	flag.StringVar(&o.metricsPath, "metrics", "", "write Prometheus text-format transport metrics to this file at exit")
+	flag.Parse()
+
+	res, err := run(o, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.violations > 0 {
+		log.Fatalf("budget safety violated in %d rounds", res.violations)
+	}
+}

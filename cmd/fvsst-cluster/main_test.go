@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAcceptanceScenario is the issue's end-to-end check: three nodes on
+// loopback, budget 900 W dropping to 600 W at t=1, node1 partitioned for
+// two simulated seconds. The run must complete, the charged power must
+// never exceed the budget, and the partitioned node must degrade and
+// rejoin with both transitions in the trace output.
+func TestAcceptanceScenario(t *testing.T) {
+	o := options{
+		nodes:        3,
+		budgetW:      900,
+		dropToW:      600,
+		dropAt:       1,
+		partition:    1,
+		partitionAt:  0.5,
+		partitionFor: 2,
+		duration:     4,
+		epsilon:      0.05,
+		scale:        0.5,
+		seed:         1,
+		missK:        3,
+		rpcTimeout:   40 * time.Millisecond,
+		lease:        800 * time.Millisecond,
+		logEvery:     5,
+	}
+	var out strings.Builder
+	res, err := run(o, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if res.violations != 0 {
+		t.Errorf("charged power exceeded the budget in %d rounds\noutput:\n%s", res.violations, out.String())
+	}
+	if len(res.decisions) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	if res.degrades < 1 || res.rejoins < 1 {
+		t.Errorf("%d degrades and %d rejoins; want the partitioned node to leave and return", res.degrades, res.rejoins)
+	}
+	for _, st := range res.status {
+		if st.Degraded {
+			t.Errorf("%s still degraded at the end of the run", st.Name)
+		}
+	}
+	first, last := res.decisions[0], res.decisions[len(res.decisions)-1]
+	if first.Budget.W() != 900 || last.Budget.W() != 600 {
+		t.Errorf("budget trajectory %v → %v, want 900W → 600W", first.Budget, last.Budget)
+	}
+	text := out.String()
+	for _, want := range []string{"DEGRADE", "REJOIN", "PARTITION", "HEAL", "budget safety: 0 violations"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := run(options{nodes: 0}, &strings.Builder{}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := run(options{nodes: 2, partition: 5}, &strings.Builder{}); err == nil {
+		t.Error("out-of-range partition target accepted")
+	}
+}

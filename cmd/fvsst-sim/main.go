@@ -159,6 +159,9 @@ func main() {
 			log.Fatalf("metrics endpoint: %v", err)
 		}
 		defer ln.Close()
+		// Print the bound address, not the flag: with ":0" the OS picks
+		// the port, and scripts need to learn which one.
+		fmt.Printf("metrics endpoint listening on %s\n", ln.Addr())
 		go func() {
 			if err := http.Serve(ln, metrics.Registry.Handler()); err != nil && !errors.Is(err, net.ErrClosed) {
 				log.Printf("metrics endpoint: %v", err)

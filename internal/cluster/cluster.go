@@ -76,11 +76,16 @@ type pendingActuation struct {
 	due  float64
 	proc ProcRef
 	f    units.Frequency
+	// m is the machine the actuation was scheduled against. If the node's
+	// machine is swapped or reset while the message is in flight, the
+	// stale actuation must not land on the replacement.
+	m *machine.Machine
 }
 
 // Coordinator runs the global frequency/voltage schedule across all nodes.
 type Coordinator struct {
 	cfg    fvsst.Config
+	core   *Core
 	nodes  []*Node
 	budget units.Power
 	// Budgets optionally drives the global budget over time.
@@ -98,7 +103,8 @@ type Coordinator struct {
 // budget. All machines must share the same dispatch quantum; the
 // coordinator steps them in lockstep.
 func New(cfg fvsst.Config, budget units.Power, nodes ...*Node) (*Coordinator, error) {
-	if err := cfg.Validate(); err != nil {
+	core, err := NewCore(cfg)
+	if err != nil {
 		return nil, err
 	}
 	if budget <= 0 {
@@ -125,6 +131,7 @@ func New(cfg fvsst.Config, budget units.Power, nodes ...*Node) (*Coordinator, er
 	}
 	return &Coordinator{
 		cfg:     cfg,
+		core:    core,
 		nodes:   nodes,
 		budget:  budget,
 		quantum: quantum,
@@ -189,6 +196,12 @@ func (c *Coordinator) Step() error {
 	for _, p := range c.pending {
 		if p.due <= c.now {
 			n := c.nodes[p.proc.Node]
+			if n.M != p.m {
+				// The node's machine was swapped or reset while this
+				// actuation was in flight; delivering it would apply a
+				// decision made against a machine that no longer exists.
+				continue
+			}
 			if err := n.M.SetFrequency(p.proc.CPU, p.f); err != nil {
 				return fmt.Errorf("cluster: actuate %s cpu %d: %w", n.Name, p.proc.CPU, err)
 			}
@@ -245,126 +258,45 @@ func (c *Coordinator) observation(p ProcRef) (perfmodel.Observation, bool) {
 	return perfmodel.Observation{Delta: agg, Freq: units.Frequency(fHz)}, true
 }
 
-// schedule runs the global two-pass algorithm and dispatches actuations.
+// schedule runs the shared global pass and dispatches RTT-delayed
+// actuations.
 func (c *Coordinator) schedule(trigger string) error {
-	pred, err := perfmodel.New(c.cfg.Hier)
-	if err != nil {
-		return err
-	}
 	procs := c.procs()
-	set := c.cfg.Table.Frequencies()
-	desired := make([]units.Frequency, len(procs))
-	decs := make([]*perfmodel.Decomposition, len(procs))
-	idle := make([]bool, len(procs))
-
+	inputs := make([]ProcInput, len(procs))
 	for i, p := range procs {
 		n := c.nodes[p.Node]
+		in := ProcInput{Proc: p, Node: n.Name}
 		if c.cfg.UseIdleSignal && n.M.IsIdle(p.CPU) {
-			idle[i] = true
-			desired[i] = set.Min()
-			continue
+			in.Idle = true
+		} else if o, ok := c.observation(p); ok {
+			o := o
+			in.Obs = &o
 		}
-		obs, ok := c.observation(p)
-		if !ok {
-			desired[i] = set.Max()
-			continue
-		}
-		dec, err := pred.Decompose(obs)
-		if err != nil {
-			return fmt.Errorf("cluster: %s cpu %d: %w", n.Name, p.CPU, err)
-		}
-		decs[i] = &dec
-		if c.cfg.UseIdealFrequency {
-			f, err := fvsst.IdealEpsilonFrequency(dec, set, c.cfg.Epsilon)
-			if err != nil {
-				return err
-			}
-			desired[i] = f
-		} else {
-			desired[i] = fvsst.EpsilonFrequency(dec, set, c.cfg.Epsilon)
-		}
+		inputs[i] = in
 	}
-
-	actual, demotions, met, err := fvsst.FitToBudgetTraced(decs, desired, c.cfg.Table, c.budget)
+	res, err := c.core.Schedule(inputs, c.budget)
 	if err != nil {
 		return err
 	}
-	volts, err := fvsst.Voltages(actual, c.cfg.Table)
-	if err != nil {
-		return err
-	}
-	tablePower, err := fvsst.TotalTablePower(actual, c.cfg.Table)
-	if err != nil {
-		return err
-	}
-
-	assignments := make([]Assignment, len(procs))
 	for i, p := range procs {
 		n := c.nodes[p.Node]
 		c.pending = append(c.pending, pendingActuation{
 			due:  c.now + n.RTT,
 			proc: p,
-			f:    actual[i],
+			f:    res.Assignments[i].Actual,
+			m:    n.M,
 		})
-		a := Assignment{
-			Proc:    p,
-			Desired: desired[i],
-			Actual:  actual[i],
-			Voltage: volts[i],
-			Idle:    idle[i],
-		}
-		if decs[i] != nil {
-			a.PredictedLoss = decs[i].PerfLoss(set.Max(), actual[i])
-		}
-		assignments[i] = a
 	}
 	c.decisions = append(c.decisions, Decision{
 		At:          c.now,
 		Trigger:     trigger,
 		Budget:      c.budget,
-		TablePower:  tablePower,
-		BudgetMet:   met,
-		Assignments: assignments,
+		TablePower:  res.TablePower,
+		BudgetMet:   res.BudgetMet,
+		Assignments: res.Assignments,
 	})
 	if c.sink != nil {
-		ev := obs.Event{
-			Type:         obs.EventSchedule,
-			At:           c.now,
-			Trigger:      trigger,
-			BudgetW:      c.budget.W(),
-			TablePowerW:  tablePower.W(),
-			HeadroomW:    c.budget.W() - tablePower.W(),
-			BudgetMissed: !met,
-			CPUs:         make([]obs.CPUTrace, len(assignments)),
-		}
-		for i, a := range assignments {
-			ct := obs.CPUTrace{
-				CPU:        a.Proc.CPU,
-				Node:       c.nodes[a.Proc.Node].Name,
-				Idle:       a.Idle,
-				DesiredMHz: a.Desired.MHz(),
-				ActualMHz:  a.Actual.MHz(),
-				VoltageV:   a.Voltage.V(),
-			}
-			if decs[i] != nil {
-				ct.PredictedLoss = a.PredictedLoss
-				ct.PredictedIPC = decs[i].IPCAt(a.Actual)
-			}
-			ev.CPUs[i] = ct
-		}
-		// Demotion CPU indexes refer to the flat proc list; translate them
-		// back to (node, cpu) addresses for the trace.
-		for _, dm := range demotions {
-			p := procs[dm.CPU]
-			ev.Demotions = append(ev.Demotions, obs.DemotionTrace{
-				CPU:           p.CPU,
-				Node:          c.nodes[p.Node].Name,
-				FromMHz:       dm.From.MHz(),
-				ToMHz:         dm.To.MHz(),
-				PredictedLoss: dm.PredictedLoss,
-			})
-		}
-		c.sink.Emit(ev)
+		c.sink.Emit(PassEvent(c.now, trigger, c.budget, inputs, res))
 	}
 	return nil
 }

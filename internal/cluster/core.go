@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/fvsst"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// ProcInput is one processor's contribution to a global scheduling pass:
+// its address, the node name for traces, the idle indicator, and the
+// counter-derived observation (nil when no usable counter data has
+// reached the coordinator — the processor is then scheduled at f_max).
+type ProcInput struct {
+	Proc ProcRef
+	Node string
+	Idle bool
+	Obs  *perfmodel.Observation
+}
+
+// PassResult is the outcome of one transport-independent global pass.
+type PassResult struct {
+	Assignments []Assignment
+	Demotions   []fvsst.Demotion
+	TablePower  units.Power
+	BudgetMet   bool
+	// decs keeps the per-proc decompositions for trace enrichment.
+	decs []*perfmodel.Decomposition
+}
+
+// Core is the transport-independent heart of the cluster scheduler: the
+// global two-pass fvsst algorithm (Figure 3 Steps 1–3) over an arbitrary
+// set of processor observations. The in-process Coordinator and the
+// networked netcluster coordinator are two transports over this one core
+// — they differ only in how observations arrive and actuations depart.
+type Core struct {
+	cfg  fvsst.Config
+	pred perfmodel.Predictor
+}
+
+// NewCore validates the configuration and builds the shared core.
+func NewCore(cfg fvsst.Config) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pred, err := perfmodel.New(cfg.Hier)
+	if err != nil {
+		return nil, err
+	}
+	return &Core{cfg: cfg, pred: pred}, nil
+}
+
+// Config returns the core's scheduler configuration.
+func (c *Core) Config() fvsst.Config { return c.cfg }
+
+// Schedule runs Steps 1–3 across the given processors under the budget.
+// Step 1 picks each processor's ε-constrained desire (minimum setting for
+// idle processors when the idle signal is enabled, f_max when no counter
+// data is available); Step 2 demotes least-loss processors until the
+// aggregate table power fits the budget; Step 3 assigns minimum voltages.
+func (c *Core) Schedule(inputs []ProcInput, budget units.Power) (PassResult, error) {
+	set := c.cfg.Table.Frequencies()
+	desired := make([]units.Frequency, len(inputs))
+	decs := make([]*perfmodel.Decomposition, len(inputs))
+
+	for i, in := range inputs {
+		if c.cfg.UseIdleSignal && in.Idle {
+			desired[i] = set.Min()
+			continue
+		}
+		if in.Obs == nil {
+			desired[i] = set.Max()
+			continue
+		}
+		dec, err := c.pred.Decompose(*in.Obs)
+		if err != nil {
+			return PassResult{}, fmt.Errorf("cluster: %s cpu %d: %w", in.Node, in.Proc.CPU, err)
+		}
+		decs[i] = &dec
+		if c.cfg.UseIdealFrequency {
+			f, err := fvsst.IdealEpsilonFrequency(dec, set, c.cfg.Epsilon)
+			if err != nil {
+				return PassResult{}, err
+			}
+			desired[i] = f
+		} else {
+			desired[i] = fvsst.EpsilonFrequency(dec, set, c.cfg.Epsilon)
+		}
+	}
+
+	actual, demotions, met, err := fvsst.FitToBudgetTraced(decs, desired, c.cfg.Table, budget)
+	if err != nil {
+		return PassResult{}, err
+	}
+	volts, err := fvsst.Voltages(actual, c.cfg.Table)
+	if err != nil {
+		return PassResult{}, err
+	}
+	tablePower, err := fvsst.TotalTablePower(actual, c.cfg.Table)
+	if err != nil {
+		return PassResult{}, err
+	}
+
+	assignments := make([]Assignment, len(inputs))
+	for i, in := range inputs {
+		a := Assignment{
+			Proc:    in.Proc,
+			Desired: desired[i],
+			Actual:  actual[i],
+			Voltage: volts[i],
+			Idle:    in.Idle,
+		}
+		if decs[i] != nil {
+			a.PredictedLoss = decs[i].PerfLoss(set.Max(), actual[i])
+		}
+		assignments[i] = a
+	}
+	return PassResult{
+		Assignments: assignments,
+		Demotions:   demotions,
+		TablePower:  tablePower,
+		BudgetMet:   met,
+		decs:        decs,
+	}, nil
+}
+
+// PassEvent renders a pass as the obs.EventSchedule both cluster backends
+// emit: node-labelled CPU traces with predictions, and Step-2 demotions
+// translated from flat proc indexes back to (node, cpu) addresses.
+func PassEvent(at float64, trigger string, budget units.Power, inputs []ProcInput, res PassResult) obs.Event {
+	ev := obs.Event{
+		Type:         obs.EventSchedule,
+		At:           at,
+		Trigger:      trigger,
+		BudgetW:      budget.W(),
+		TablePowerW:  res.TablePower.W(),
+		HeadroomW:    budget.W() - res.TablePower.W(),
+		BudgetMissed: !res.BudgetMet,
+		CPUs:         make([]obs.CPUTrace, len(res.Assignments)),
+	}
+	for i, a := range res.Assignments {
+		ct := obs.CPUTrace{
+			CPU:        a.Proc.CPU,
+			Node:       inputs[i].Node,
+			Idle:       a.Idle,
+			DesiredMHz: a.Desired.MHz(),
+			ActualMHz:  a.Actual.MHz(),
+			VoltageV:   a.Voltage.V(),
+		}
+		if res.decs != nil && res.decs[i] != nil {
+			ct.PredictedLoss = a.PredictedLoss
+			ct.PredictedIPC = res.decs[i].IPCAt(a.Actual)
+		}
+		ev.CPUs[i] = ct
+	}
+	for _, dm := range res.Demotions {
+		in := inputs[dm.CPU]
+		ev.Demotions = append(ev.Demotions, obs.DemotionTrace{
+			CPU:           in.Proc.CPU,
+			Node:          in.Node,
+			FromMHz:       dm.From.MHz(),
+			ToMHz:         dm.To.MHz(),
+			PredictedLoss: dm.PredictedLoss,
+		})
+	}
+	return ev
+}

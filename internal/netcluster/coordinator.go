@@ -1,0 +1,695 @@
+package netcluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fvsst"
+	"repro/internal/netcluster/proto"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// NodeSpec addresses one agent.
+type NodeSpec struct {
+	Name string
+	Addr string
+}
+
+// Dialer opens message connections to agents. The default dials TCP;
+// faultnet.Network implements Dialer to inject partitions and faults.
+type Dialer interface {
+	Dial(node, addr string, timeout time.Duration) (proto.Conn, error)
+}
+
+// TCPDialer is the production dialer.
+type TCPDialer struct{}
+
+// Dial connects over TCP.
+func (TCPDialer) Dial(node, addr string, timeout time.Duration) (proto.Conn, error) {
+	return proto.Dial(addr, timeout)
+}
+
+// Config parameterises the networked coordinator.
+type Config struct {
+	// Name identifies the coordinator in hello messages.
+	Name string
+	// Fvsst is the shared scheduling configuration (table, ε, periods).
+	Fvsst fvsst.Config
+	// Budget is the initial global processor power budget.
+	Budget units.Power
+	// Budgets optionally drives the budget over time (supply failures,
+	// site capping).
+	Budgets *power.BudgetSchedule
+	// MissK is how many consecutive failed rounds mark a node degraded.
+	// Degraded or not, an unreachable node is always charged its
+	// worst-case-under-silence power; MissK only gates the degrade
+	// transition reported to operators. Default 3.
+	MissK int
+	// RPCTimeout bounds each RPC attempt. Default 500 ms.
+	RPCTimeout time.Duration
+	// DialTimeout bounds connection establishment. Defaults to RPCTimeout.
+	DialTimeout time.Duration
+	// Retries is how many times an RPC is retried after the first
+	// attempt, with exponential backoff and jitter between attempts.
+	// Default 2.
+	Retries int
+	// BackoffBase/BackoffMax bound the retry backoff. Defaults 10 ms and
+	// 250 ms.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed feeds the backoff jitter; node i draws from an independent
+	// stream seeded Seed+i (the repo's shared convention: one scenario
+	// seed, fixed offsets per derived stream).
+	Seed int64
+	// Dialer defaults to TCPDialer.
+	Dialer Dialer
+	// Sink receives schedule, quantum and degrade/rejoin trace events.
+	Sink obs.Sink
+	// Metrics instruments the transport; nil disables.
+	Metrics *Metrics
+}
+
+func (c *Config) applyDefaults() {
+	if c.Name == "" {
+		c.Name = "coordinator"
+	}
+	if c.MissK == 0 {
+		c.MissK = 3
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 500 * time.Millisecond
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = c.RPCTimeout
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 250 * time.Millisecond
+	}
+	if c.Dialer == nil {
+		c.Dialer = TCPDialer{}
+	}
+}
+
+// AgentError is a structured failure the agent returned (malformed
+// request, rejected actuation). It is terminal for the RPC — retrying the
+// same request would fail the same way — and does not cost the
+// connection.
+type AgentError struct {
+	Node   string
+	Reason string
+}
+
+func (e *AgentError) Error() string {
+	return fmt.Sprintf("netcluster: agent %s: %s", e.Node, e.Reason)
+}
+
+// nodeState is the coordinator's view of one agent. During a round it is
+// touched only by that node's poll goroutine; between phases access is
+// single-threaded.
+type nodeState struct {
+	spec     NodeSpec
+	conn     proto.Conn
+	caps     *proto.Capabilities
+	missed   int
+	degraded bool
+	// lastFreqs is the last acknowledged actuation — the most the node
+	// can draw while silent, since settings only change on actuation
+	// (the agent failsafe can only lower them). Nil until first ack.
+	lastFreqs []units.Frequency
+	rng       *rand.Rand
+	reqID     uint64
+}
+
+// NodeStatus is a point-in-time external view of one node.
+type NodeStatus struct {
+	Name      string
+	Connected bool
+	Degraded  bool
+	Missed    int
+	// LastActuation is the last acknowledged per-CPU assignment (nil
+	// before the first ack).
+	LastActuation []units.Frequency
+	// ChargedIfSilent is what the coordinator would hold against the
+	// budget were the node to go silent now.
+	ChargedIfSilent units.Power
+}
+
+// Decision is one networked scheduling round.
+type Decision struct {
+	At      float64
+	Trigger string
+	Budget  units.Power
+	// TablePower is the live nodes' assigned table power.
+	TablePower units.Power
+	// Reserved is the worst-case charge held for unreachable nodes.
+	Reserved units.Power
+	// Charged is the total held against the budget: acknowledged live
+	// assignments plus Reserved.
+	Charged units.Power
+	// BudgetMet reports Charged ≤ Budget.
+	BudgetMet bool
+	// Degraded lists nodes currently marked degraded.
+	Degraded    []string
+	Assignments []cluster.Assignment
+}
+
+// Coordinator runs the global two-step fvsst pass over the wire. Create
+// with NewCoordinator, then Connect, then drive rounds with Run or
+// RunRound. Not safe for concurrent use.
+type Coordinator struct {
+	cfg    Config
+	core   *cluster.Core
+	nodes  []*nodeState
+	budget units.Power
+	// now is the coordinator's scheduling epoch: rounds × period. Nodes
+	// that miss rounds freeze behind it and catch up in wall-clock (not
+	// simulated) terms only; the budget ledger uses coordinator time.
+	now       float64
+	period    float64
+	quantum   float64
+	decisions []Decision
+}
+
+// NewCoordinator validates the configuration and prepares (but does not
+// connect) the control plane.
+func NewCoordinator(cfg Config, specs ...NodeSpec) (*Coordinator, error) {
+	cfg.applyDefaults()
+	core, err := cluster.NewCore(cfg.Fvsst)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("netcluster: budget %v must be positive", cfg.Budget)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("netcluster: at least one node required")
+	}
+	if cfg.MissK < 1 {
+		return nil, fmt.Errorf("netcluster: miss threshold %d must be ≥ 1", cfg.MissK)
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("netcluster: negative retries")
+	}
+	seen := make(map[string]bool, len(specs))
+	nodes := make([]*nodeState, len(specs))
+	for i, s := range specs {
+		if s.Name == "" || s.Addr == "" {
+			return nil, fmt.Errorf("netcluster: node %d needs name and address", i)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("netcluster: duplicate node name %q", s.Name)
+		}
+		seen[s.Name] = true
+		nodes[i] = &nodeState{
+			spec: s,
+			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i))),
+		}
+	}
+	return &Coordinator{cfg: cfg, core: core, nodes: nodes, budget: cfg.Budget}, nil
+}
+
+// Connect establishes every node's session. Initial connection is strict
+// — a cluster that starts partially up is a deployment error — while
+// failures after Connect are tolerated and charged.
+func (c *Coordinator) Connect() error {
+	for _, ns := range c.nodes {
+		if err := c.ensureConn(ns); err != nil {
+			return err
+		}
+	}
+	c.period = float64(c.cfg.Fvsst.SchedulePeriods) * c.quantum
+	return nil
+}
+
+// Close tears down every connection.
+func (c *Coordinator) Close() {
+	for _, ns := range c.nodes {
+		if ns.conn != nil {
+			ns.conn.Close()
+			ns.conn = nil
+		}
+	}
+}
+
+// Now returns the coordinator's scheduling epoch in seconds.
+func (c *Coordinator) Now() float64 { return c.now }
+
+// Budget returns the current global budget.
+func (c *Coordinator) Budget() units.Power { return c.budget }
+
+// Decisions returns the round log.
+func (c *Coordinator) Decisions() []Decision {
+	out := make([]Decision, len(c.decisions))
+	copy(out, c.decisions)
+	return out
+}
+
+// Status reports the coordinator's current view of every node.
+func (c *Coordinator) Status() []NodeStatus {
+	out := make([]NodeStatus, len(c.nodes))
+	for i, ns := range c.nodes {
+		st := NodeStatus{
+			Name:      ns.spec.Name,
+			Connected: ns.conn != nil,
+			Degraded:  ns.degraded,
+			Missed:    ns.missed,
+		}
+		if ns.lastFreqs != nil {
+			st.LastActuation = append([]units.Frequency(nil), ns.lastFreqs...)
+		}
+		if ns.caps != nil {
+			st.ChargedIfSilent = c.worstCharge(ns)
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// worstCharge is the power held against the budget for a silent node: the
+// table power of its last acknowledged actuation (settings cannot rise
+// without a new actuation), or every CPU at the table maximum when the
+// node was never actuated.
+func (c *Coordinator) worstCharge(ns *nodeState) units.Power {
+	if ns.lastFreqs != nil {
+		if p, err := fvsst.TotalTablePower(ns.lastFreqs, c.cfg.Fvsst.Table); err == nil {
+			return p
+		}
+	}
+	return units.Watts(float64(ns.caps.NumCPUs) * ns.caps.MaxPowerW)
+}
+
+// ensureConn dials and re-runs the hello handshake if the node has no
+// live session. On a rejoin the fresh capabilities re-sync the
+// coordinator's view (a swapped machine invalidates the last actuation).
+func (c *Coordinator) ensureConn(ns *nodeState) error {
+	if ns.conn != nil {
+		return nil
+	}
+	conn, err := c.cfg.Dialer.Dial(ns.spec.Name, ns.spec.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	ns.reqID++
+	resp, err := c.exchange(conn, ns.spec.Name, &proto.Message{
+		Kind:  proto.KindHello,
+		ID:    ns.reqID,
+		Hello: &proto.Hello{Coordinator: c.cfg.Name},
+	})
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if resp.Kind != proto.KindHelloAck || resp.Capabilities == nil {
+		conn.Close()
+		return fmt.Errorf("netcluster: %s answered hello with %q", ns.spec.Name, resp.Kind)
+	}
+	caps := *resp.Capabilities
+	if err := c.validateCaps(ns, caps); err != nil {
+		conn.Close()
+		return err
+	}
+	if ns.caps != nil && ns.caps.NumCPUs != caps.NumCPUs {
+		// The node came back a different shape; the old actuation is
+		// meaningless.
+		ns.lastFreqs = nil
+	}
+	if c.quantum == 0 {
+		// The first handshake pins the cluster quantum; Connect is
+		// single-threaded, so later concurrent rejoins only read it.
+		c.quantum = caps.QuantumSec
+	}
+	ns.caps = &caps
+	ns.conn = conn
+	c.cfg.Metrics.countReconnect(ns.spec.Name)
+	return nil
+}
+
+func (c *Coordinator) validateCaps(ns *nodeState, caps proto.Capabilities) error {
+	if caps.NumCPUs <= 0 {
+		return fmt.Errorf("netcluster: %s reports %d CPUs", ns.spec.Name, caps.NumCPUs)
+	}
+	if caps.QuantumSec <= 0 {
+		return fmt.Errorf("netcluster: %s reports quantum %v", ns.spec.Name, caps.QuantumSec)
+	}
+	if c.quantum != 0 && caps.QuantumSec != c.quantum {
+		return fmt.Errorf("netcluster: %s quantum %v differs from cluster quantum %v",
+			ns.spec.Name, caps.QuantumSec, c.quantum)
+	}
+	// The coordinator schedules from its own table; every setting it can
+	// assign must exist on the node.
+	avail := make(map[float64]bool, len(caps.FreqsMHz))
+	for _, mhz := range caps.FreqsMHz {
+		avail[mhz] = true
+	}
+	for _, f := range c.cfg.Fvsst.Table.Frequencies() {
+		if !avail[f.MHz()] {
+			return fmt.Errorf("netcluster: %s lacks operating point %v", ns.spec.Name, f)
+		}
+	}
+	return nil
+}
+
+// exchange performs one deadline-bounded request/response on conn,
+// discarding responses whose ID does not match (late retransmissions,
+// faultnet duplicates).
+func (c *Coordinator) exchange(conn proto.Conn, node string, req *proto.Message) (*proto.Message, error) {
+	if err := conn.SetDeadline(time.Now().Add(c.cfg.RPCTimeout)); err != nil {
+		return nil, err
+	}
+	defer conn.SetDeadline(time.Time{})
+	if err := conn.Send(req); err != nil {
+		return nil, err
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if m.ID != req.ID {
+			continue
+		}
+		if m.Kind == proto.KindError {
+			return nil, &AgentError{Node: node, Reason: m.Error}
+		}
+		return m, nil
+	}
+}
+
+// backoffDelay is the bounded exponential backoff with jitter before
+// retry attempt (0-based): uniform in [d/2, d] where d doubles from base
+// up to max. Jitter decorrelates a fleet of retrying coordinators; the
+// explicit rng keeps each node's delay sequence reproducible from the
+// scenario seed.
+func backoffDelay(attempt int, base, max time.Duration, rng *rand.Rand) time.Duration {
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if d <= 0 {
+		return 0
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// rpc runs one request against the node with per-attempt deadlines and
+// bounded, jittered retry, redialling broken sessions between attempts.
+// build receives the fresh request ID for each attempt.
+func (c *Coordinator) rpc(ns *nodeState, kind string, build func(id uint64) *proto.Message) (*proto.Message, error) {
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.cfg.Metrics.countRetry(ns.spec.Name, kind)
+			time.Sleep(backoffDelay(attempt-1, c.cfg.BackoffBase, c.cfg.BackoffMax, ns.rng))
+		}
+		if err := c.ensureConn(ns); err != nil {
+			lastErr = err
+			continue
+		}
+		ns.reqID++
+		resp, err := c.exchange(ns.conn, ns.spec.Name, build(ns.reqID))
+		if err == nil {
+			c.cfg.Metrics.observeRPC(ns.spec.Name, kind, time.Since(start))
+			return resp, nil
+		}
+		lastErr = err
+		var ae *AgentError
+		if errors.As(err, &ae) {
+			// Semantic rejection: the session is healthy and a retry
+			// would fail identically.
+			c.cfg.Metrics.countFailure(ns.spec.Name, kind)
+			return nil, err
+		}
+		if isTimeout(err) {
+			c.cfg.Metrics.countTimeout(ns.spec.Name, kind)
+		}
+		// The stream may hold stale bytes or be dead; start clean.
+		ns.conn.Close()
+		ns.conn = nil
+	}
+	c.cfg.Metrics.countFailure(ns.spec.Name, kind)
+	return nil, fmt.Errorf("netcluster: %s %s failed after %d attempts: %w",
+		ns.spec.Name, kind, c.cfg.Retries+1, lastErr)
+}
+
+// recordMiss charges a failed round against the node, degrading it at the
+// MissK threshold.
+func (c *Coordinator) recordMiss(ns *nodeState, cause error) {
+	ns.missed++
+	if ns.degraded || ns.missed < c.cfg.MissK {
+		return
+	}
+	ns.degraded = true
+	c.cfg.Metrics.countTransition(ns.spec.Name, "degrade")
+	if c.cfg.Sink != nil {
+		detail := fmt.Sprintf("missed %d heartbeats", ns.missed)
+		if cause != nil {
+			detail += ": " + cause.Error()
+		}
+		c.cfg.Sink.Emit(obs.Event{
+			Type:      obs.EventDegrade,
+			At:        c.now,
+			Node:      ns.spec.Name,
+			ReservedW: c.worstCharge(ns).W(),
+			Detail:    detail,
+		})
+	}
+}
+
+// recordAlive resets the miss count after a fully successful round,
+// rejoining a degraded node.
+func (c *Coordinator) recordAlive(ns *nodeState) {
+	ns.missed = 0
+	if !ns.degraded {
+		return
+	}
+	ns.degraded = false
+	c.cfg.Metrics.countTransition(ns.spec.Name, "rejoin")
+	if c.cfg.Sink != nil {
+		c.cfg.Sink.Emit(obs.Event{
+			Type:   obs.EventRejoin,
+			At:     c.now,
+			Node:   ns.spec.Name,
+			Detail: "session re-established; capabilities re-synced",
+		})
+	}
+}
+
+// poll is one node's round result.
+type poll struct {
+	ok        bool
+	reports   []proto.CPUReport
+	cpuPowerW float64
+}
+
+// RunRound executes one scheduling period over the wire: heartbeat and
+// poll every node in parallel, run the shared global pass with the
+// budget reduced by the worst-case charge of every unreachable node,
+// then actuate the survivors. Transport failures never abort the round —
+// they convert into charges — so the returned error indicates a
+// scheduling-core problem only.
+func (c *Coordinator) RunRound() error {
+	for _, ns := range c.nodes {
+		if ns.caps == nil {
+			return fmt.Errorf("netcluster: node %s never connected; call Connect first", ns.spec.Name)
+		}
+	}
+	trigger := "timer"
+	if c.cfg.Budgets != nil {
+		if want := c.cfg.Budgets.At(c.now); want != c.budget {
+			c.budget = want
+			trigger = "budget-change"
+		}
+	}
+
+	// Phase 1: parallel liveness + counter poll. Each goroutine owns its
+	// node's state; results land in per-node slots.
+	polls := make([]poll, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, ns := range c.nodes {
+		wg.Add(1)
+		go func(i int, ns *nodeState) {
+			defer wg.Done()
+			if _, err := c.rpc(ns, proto.KindHeartbeat, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindHeartbeat, ID: id}
+			}); err != nil {
+				c.recordMiss(ns, err)
+				return
+			}
+			resp, err := c.rpc(ns, proto.KindCounterRequest, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindCounterRequest, ID: id, CounterRequest: &proto.CounterRequest{
+					AdvanceQuanta: c.cfg.Fvsst.SchedulePeriods,
+					WindowQuanta:  c.cfg.Fvsst.SchedulePeriods,
+				}}
+			})
+			if err != nil || resp.CounterReport == nil {
+				c.recordMiss(ns, err)
+				return
+			}
+			if len(resp.CounterReport.CPUs) != ns.caps.NumCPUs {
+				c.recordMiss(ns, fmt.Errorf("report covers %d of %d CPUs", len(resp.CounterReport.CPUs), ns.caps.NumCPUs))
+				return
+			}
+			polls[i] = poll{ok: true, reports: resp.CounterReport.CPUs, cpuPowerW: resp.CounterReport.CPUPowerW}
+		}(i, ns)
+	}
+	wg.Wait()
+
+	// Phase 2: global pass over the reachable nodes, under the budget
+	// minus the silent nodes' worst-case charge.
+	var inputs []cluster.ProcInput
+	nodeInputs := make([][]int, len(c.nodes))
+	reserved := units.Power(0)
+	for i, ns := range c.nodes {
+		if !polls[i].ok {
+			reserved += c.worstCharge(ns)
+			continue
+		}
+		for cpu, rep := range polls[i].reports {
+			in := cluster.ProcInput{
+				Proc: cluster.ProcRef{Node: i, CPU: cpu},
+				Node: ns.spec.Name,
+				Idle: rep.Idle,
+			}
+			delta := rep.Delta()
+			if fHz := delta.ObservedFrequencyHz(); delta.Instructions > 0 && delta.Cycles > 0 && fHz > 0 {
+				in.Obs = &perfmodel.Observation{Delta: delta, Freq: units.Frequency(fHz)}
+			}
+			nodeInputs[i] = append(nodeInputs[i], len(inputs))
+			inputs = append(inputs, in)
+		}
+	}
+	liveBudget := c.budget - reserved
+	res, err := c.core.Schedule(inputs, liveBudget)
+	if err != nil {
+		return err
+	}
+
+	// Phase 3: parallel actuation. The last acknowledged assignment is
+	// the node's charge while silent, so it only advances on ack.
+	acked := make([]bool, len(c.nodes))
+	var awg sync.WaitGroup
+	for i, ns := range c.nodes {
+		if !polls[i].ok {
+			continue
+		}
+		freqs := make([]units.Frequency, len(nodeInputs[i]))
+		mhz := make([]float64, len(nodeInputs[i]))
+		for cpu, idx := range nodeInputs[i] {
+			freqs[cpu] = res.Assignments[idx].Actual
+			mhz[cpu] = freqs[cpu].MHz()
+		}
+		awg.Add(1)
+		go func(i int, ns *nodeState, freqs []units.Frequency, mhz []float64) {
+			defer awg.Done()
+			_, err := c.rpc(ns, proto.KindActuate, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindActuate, ID: id, Actuate: &proto.Actuate{FreqsMHz: mhz}}
+			})
+			if err != nil {
+				c.recordMiss(ns, err)
+				return
+			}
+			ns.lastFreqs = freqs
+			acked[i] = true
+			c.recordAlive(ns)
+		}(i, ns, freqs, mhz)
+	}
+	awg.Wait()
+
+	// Phase 4: the round's ledger. Acknowledged nodes are charged their
+	// new assignment; everyone else their worst case under silence.
+	charged := units.Power(0)
+	reserved = 0
+	degradedCount := 0
+	var degradedNames []string
+	cpuPowerW := 0.0
+	for i, ns := range c.nodes {
+		if acked[i] {
+			var sum units.Power
+			for _, idx := range nodeInputs[i] {
+				p, err := c.cfg.Fvsst.Table.PowerAt(res.Assignments[idx].Actual)
+				if err != nil {
+					return err
+				}
+				sum += p
+			}
+			charged += sum
+			cpuPowerW += polls[i].cpuPowerW
+			continue
+		}
+		w := c.worstCharge(ns)
+		charged += w
+		reserved += w
+		if ns.degraded {
+			degradedCount++
+			degradedNames = append(degradedNames, ns.spec.Name)
+		}
+	}
+
+	dec := Decision{
+		At:          c.now,
+		Trigger:     trigger,
+		Budget:      c.budget,
+		TablePower:  res.TablePower,
+		Reserved:    reserved,
+		Charged:     charged,
+		BudgetMet:   charged <= c.budget,
+		Degraded:    degradedNames,
+		Assignments: res.Assignments,
+	}
+	c.decisions = append(c.decisions, dec)
+
+	c.cfg.Metrics.setDegraded(degradedCount)
+	c.cfg.Metrics.setCharged(charged, reserved)
+	if c.cfg.Sink != nil {
+		ev := cluster.PassEvent(c.now, trigger, c.budget, inputs, res)
+		ev.ChargedW = charged.W()
+		ev.ReservedW = reserved.W()
+		ev.HeadroomW = (c.budget - charged).W()
+		ev.BudgetMissed = !dec.BudgetMet
+		c.cfg.Sink.Emit(ev)
+		c.cfg.Sink.Emit(obs.Event{
+			Type:      obs.EventQuantum,
+			At:        c.now,
+			BudgetW:   c.budget.W(),
+			CPUPowerW: cpuPowerW,
+		})
+	}
+
+	c.now += c.period
+	return nil
+}
+
+// Run drives rounds until the coordinator epoch reaches t seconds.
+func (c *Coordinator) Run(until float64) error {
+	for c.now < until {
+		if err := c.RunRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

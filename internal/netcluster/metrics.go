@@ -1,0 +1,119 @@
+package netcluster
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+// RPCLatencyBuckets span loopback microbenchmarks through WAN retries.
+var RPCLatencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// Metrics instruments the coordinator's transport: per-node RPC latency,
+// retry/timeout/failure counts, reconnections, the degraded-node gauge
+// and the charged-power decomposition. It aggregates into an
+// obs.Registry, so it can share an exposition endpoint with the
+// scheduling metrics of obs.Metrics.
+type Metrics struct {
+	Registry *obs.Registry
+
+	rpcLatency  *obs.HistogramVec // node, kind
+	retries     *obs.CounterVec   // node, kind
+	timeouts    *obs.CounterVec   // node, kind
+	failures    *obs.CounterVec   // node, kind
+	reconnects  *obs.CounterVec   // node
+	transitions *obs.CounterVec   // node, transition
+	degraded    *obs.Gauge
+	charged     *obs.Gauge
+	reserved    *obs.Gauge
+}
+
+// NewMetrics builds the instrument set over a fresh registry.
+func NewMetrics() *Metrics { return NewMetricsInto(obs.NewRegistry()) }
+
+// NewMetricsInto builds the instrument set aggregating into r.
+func NewMetricsInto(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Registry: r,
+		rpcLatency: r.Histogram("netcluster_rpc_latency_seconds",
+			"Wall-clock latency of successful RPCs, including retries.", RPCLatencyBuckets, "node", "kind"),
+		retries: r.Counter("netcluster_rpc_retries_total",
+			"RPC attempts beyond the first.", "node", "kind"),
+		timeouts: r.Counter("netcluster_rpc_timeouts_total",
+			"RPC attempts that hit the per-attempt deadline.", "node", "kind"),
+		failures: r.Counter("netcluster_rpc_failures_total",
+			"RPCs that exhausted every attempt.", "node", "kind"),
+		reconnects: r.Counter("netcluster_reconnects_total",
+			"Connection (re-)establishments, including the first.", "node"),
+		transitions: r.Counter("netcluster_node_transitions_total",
+			"Degrade/rejoin transitions.", "node", "transition"),
+		degraded: r.Gauge("netcluster_degraded_nodes",
+			"Nodes currently charged worst-case power for silence.").With(),
+		charged: r.Gauge("netcluster_charged_power_watts",
+			"Power held against the budget after the last pass (live + reserved).").With(),
+		reserved: r.Gauge("netcluster_reserved_power_watts",
+			"Worst-case reservation for degraded nodes after the last pass.").With(),
+	}
+}
+
+// nil-safe instrument helpers: the coordinator calls these
+// unconditionally; a nil *Metrics disables instrumentation the same way a
+// nil Sink disables tracing.
+
+func (m *Metrics) observeRPC(node, kind string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.rpcLatency.With(node, kind).Observe(d.Seconds())
+}
+
+func (m *Metrics) countRetry(node, kind string) {
+	if m == nil {
+		return
+	}
+	m.retries.With(node, kind).Inc()
+}
+
+func (m *Metrics) countTimeout(node, kind string) {
+	if m == nil {
+		return
+	}
+	m.timeouts.With(node, kind).Inc()
+}
+
+func (m *Metrics) countFailure(node, kind string) {
+	if m == nil {
+		return
+	}
+	m.failures.With(node, kind).Inc()
+}
+
+func (m *Metrics) countReconnect(node string) {
+	if m == nil {
+		return
+	}
+	m.reconnects.With(node).Inc()
+}
+
+func (m *Metrics) countTransition(node, transition string) {
+	if m == nil {
+		return
+	}
+	m.transitions.With(node, transition).Inc()
+}
+
+func (m *Metrics) setDegraded(n int) {
+	if m == nil {
+		return
+	}
+	m.degraded.Set(float64(n))
+}
+
+func (m *Metrics) setCharged(charged, reserved units.Power) {
+	if m == nil {
+		return
+	}
+	m.charged.Set(charged.W())
+	m.reserved.Set(reserved.W())
+}

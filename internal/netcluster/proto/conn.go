@@ -1,0 +1,96 @@
+package proto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Conn is a message-oriented connection carrying protocol frames. The TCP
+// implementation below is the production transport; faultnet wraps any
+// Conn to inject deterministic failures at message granularity.
+type Conn interface {
+	// Send writes one message. It stamps m.V with the protocol version.
+	Send(m *Message) error
+	// Recv reads the next message, rejecting malformed frames and version
+	// mismatches.
+	Recv() (*Message, error)
+	// SetDeadline bounds both pending and future Send/Recv calls, like
+	// net.Conn.SetDeadline. The zero time clears it.
+	SetDeadline(t time.Time) error
+	Close() error
+}
+
+// netConn frames messages over a stream connection.
+type netConn struct {
+	c net.Conn
+}
+
+// NewConn wraps a stream connection (TCP, unix, net.Pipe) as a message
+// connection.
+func NewConn(c net.Conn) Conn { return &netConn{c: c} }
+
+// Dial connects to a listening agent and returns the message connection.
+func Dial(addr string, timeout time.Duration) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(c), nil
+}
+
+func (n *netConn) Send(m *Message) error {
+	m.V = Version
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("proto: encode %s: %w", m.Kind, err)
+	}
+	if len(payload) > MaxMessageSize {
+		return fmt.Errorf("proto: %s message %d bytes exceeds limit %d", m.Kind, len(payload), MaxMessageSize)
+	}
+	frame := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	copy(frame[4:], payload)
+	// One Write per frame so a concurrent writer cannot interleave
+	// half-frames; the Conn contract still requires external send
+	// serialisation per logical stream.
+	_, err = n.c.Write(frame)
+	return err
+}
+
+func (n *netConn) Recv() (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(n.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size == 0 || size > MaxMessageSize {
+		return nil, fmt.Errorf("proto: frame length %d outside (0, %d]", size, MaxMessageSize)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(n.c, payload); err != nil {
+		return nil, fmt.Errorf("proto: truncated frame: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("proto: decode frame: %w", err)
+	}
+	if m.V != Version {
+		return nil, fmt.Errorf("proto: version %d, want %d", m.V, Version)
+	}
+	return &m, nil
+}
+
+func (n *netConn) SetDeadline(t time.Time) error { return n.c.SetDeadline(t) }
+
+func (n *netConn) Close() error { return n.c.Close() }
+
+// Pipe returns two ends of an in-memory message connection, for tests and
+// fault-injection harnesses.
+func Pipe() (Conn, Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}

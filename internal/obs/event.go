@@ -22,6 +22,14 @@ const (
 	EventSchedule = "schedule"
 	// EventQuantum is one dispatch quantum of machine state (power draw).
 	EventQuantum = "quantum"
+	// EventDegrade marks a cluster node that missed enough heartbeats to
+	// be charged its worst-case table power instead of scheduled.
+	EventDegrade = "degrade"
+	// EventRejoin marks a degraded node re-establishing its session.
+	EventRejoin = "rejoin"
+	// EventFailsafe marks a node agent's watchdog expiring: the agent
+	// dropped every CPU to its minimum frequency on its own.
+	EventFailsafe = "failsafe"
 )
 
 // Event is one structured trace record. A single flat type covers all
@@ -47,6 +55,14 @@ type Event struct {
 	// Quantum fields.
 	SystemPowerW float64 `json:"system_power_w,omitempty"`
 	CPUPowerW    float64 `json:"cpu_power_w,omitempty"`
+
+	// Networked-cluster fields (netcluster). ChargedW is the power the
+	// coordinator holds against the budget — live assignments plus the
+	// worst-case reservation for degraded nodes (ReservedW). Detail
+	// carries the human-readable cause on degrade/rejoin/failsafe events.
+	ChargedW  float64 `json:"charged_w,omitempty"`
+	ReservedW float64 `json:"reserved_w,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
 }
 
 // CPUTrace is one processor's slice of a scheduling decision: the Step-1
