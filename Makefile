@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race bench experiments examples fuzz clean
+.PHONY: all check build test vet race bench bench-paper experiments examples fuzz clean
 
 # Default: the full pre-merge gate — compile, static checks, and the test
 # suite under the race detector (the obs registry is exercised concurrently).
@@ -24,8 +24,20 @@ race:
 experiments:
 	$(GO) run ./cmd/experiments all
 
-# One testing.B benchmark per table/figure plus microbenchmarks.
+# Hot-path + harness benchmarks and their JSON artefacts: the steady-state
+# zero-alloc guarantees (Scheduler.Schedule, Machine.Step), the worker-pool
+# runner at 1 vs 4 workers, then BENCH_hotpath.json and per-experiment
+# wall-clock/allocation stats in BENCH_experiments.json.
 bench:
+	$(GO) test -bench 'SchedulePass|MachineStep|RunAll' -benchmem \
+		./internal/fvsst/ ./internal/machine/ ./internal/experiments/
+	$(GO) run ./cmd/experiments hotpath
+	$(GO) run ./cmd/experiments -scale 0.05 -parallel 4 \
+		-bench-out BENCH_experiments.json all > /dev/null
+	@echo "(written to BENCH_experiments.json)"
+
+# One testing.B benchmark per table/figure plus microbenchmarks.
+bench-paper:
 	$(GO) test -bench=. -benchmem ./...
 
 examples:

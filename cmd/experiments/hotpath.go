@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/fvsst"
+	"repro/internal/machine"
+	"repro/internal/memhier"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// hotpathResult is one microbenchmark's row in BENCH_hotpath.json.
+type hotpathResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// hotpathWorld builds the steady-state scheduling scenario the hot-path
+// guarantees cover: a p630 with endless work on every CPU, a budget tight
+// enough to exercise Step 2, decision logging off, sampler windows warm.
+func hotpathWorld() (*machine.Machine, *fvsst.Scheduler, error) {
+	m, err := machine.New(machine.P630Config())
+	if err != nil {
+		return nil, nil, err
+	}
+	endless := func(name string, alpha float64, rates memhier.AccessRates) workload.Program {
+		return workload.Program{Name: name, Phases: []workload.Phase{{
+			Name: "p", Alpha: alpha, Rates: rates, Instructions: 1e15,
+		}}}
+	}
+	memRates := memhier.AccessRates{L2PerInstr: 0.030, L3PerInstr: 0.006, MemPerInstr: 0.0186}
+	progs := []workload.Program{
+		endless("cpu0", 1.4, memhier.AccessRates{}),
+		endless("mem1", 1.1, memRates),
+		endless("cpu2", 1.4, memhier.AccessRates{}),
+		endless("mem3", 1.1, memRates),
+	}
+	for cpu, p := range progs {
+		mix, err := workload.NewMix(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := m.SetMix(cpu, mix); err != nil {
+			return nil, nil, err
+		}
+	}
+	cfg := fvsst.DefaultConfig()
+	cfg.Overhead = fvsst.Overhead{}
+	s, err := fvsst.New(cfg, m, units.Watts(350))
+	if err != nil {
+		return nil, nil, err
+	}
+	s.SetDecisionLogging(false)
+	for i := 0; i < 5*cfg.SchedulePeriods; i++ {
+		m.Step()
+		due, err := s.Collect()
+		if err != nil {
+			return nil, nil, err
+		}
+		if due {
+			if _, err := s.Schedule("timer"); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return m, s, nil
+}
+
+// runHotpath benchmarks the zero-alloc hot paths (Scheduler.Schedule and
+// machine.Step) via testing.Benchmark and writes BENCH_hotpath.json (or
+// the -bench-out override).
+func runHotpath(outPath string) error {
+	if outPath == "" {
+		outPath = "BENCH_hotpath.json"
+	}
+	m, s, err := hotpathWorld()
+	if err != nil {
+		return err
+	}
+
+	var results []hotpathResult
+	add := func(name string, r testing.BenchmarkResult) {
+		results = append(results, hotpathResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+
+	add("Scheduler.Schedule", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Schedule("timer"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add("Machine.Step", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.Step()
+		}
+	}))
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-20s %12.0f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("(written to %s)\n", outPath)
+	return nil
+}

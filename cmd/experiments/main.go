@@ -2,125 +2,43 @@
 //
 // Usage:
 //
-//	experiments [-scale N] [-seed N] [-quiet] [list | all | <id>...]
+//	experiments [flags] [list | all | hotpath | <id>...]
 //
-// where <id> is one of: table1, fig1, table2, fig4, fig5, fig6, fig7,
-// table3, fig8, fig9, worked, ab-policies, ab-ideal, ab-idle.
+// The experiment ids, their descriptions and the usage text all come from
+// the registry in internal/experiments (run `experiments list` to see
+// them); this comment deliberately does not duplicate the id list, so it
+// cannot go stale.
+//
+// `-parallel N` runs the selected experiments on an N-worker pool. Every
+// experiment derives all of its randomness from -seed alone and shares no
+// state, so the rendered output is byte-identical at any worker count.
+// `-run <regex>` filters the selection by id. `-bench-out <file>` writes
+// per-experiment wall-clock and allocation stats as JSON. The `hotpath`
+// subcommand benchmarks the scheduler's steady-state hot path instead of
+// running experiments.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/workload"
 )
 
-type runner struct {
-	desc string
-	run  func(experiments.Options) (renderer, error)
-}
-
-func registry() map[string]runner {
-	return map[string]runner{
-		"table1": {"Table 1: frequency/power operating points vs fitted model", func(experiments.Options) (renderer, error) {
-			r, err := experiments.Table1()
-			return renderOf(r, err)
-		}},
-		"fig1": {"Figure 1: performance saturation", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.Figure1(o)
-			return renderOf(r, err)
-		}},
-		"table2": {"Table 2: predictor IPC deviation", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.Table2(o)
-			return renderOf(r, err)
-		}},
-		"fig4": {"Figure 4: fvsst overhead", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.Figure4(o)
-			return renderOf(r, err)
-		}},
-		"fig5": {"Figure 5: phase tracking", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.Figure5(o)
-			return renderOf(r, err)
-		}},
-		"fig6": {"Figure 6: performance under power limits", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.Figure6(o)
-			return renderOf(r, err)
-		}},
-		"fig7": {"Figure 7: two-phase benchmark under constraints", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.Figure7(o)
-			return renderOf(r, err)
-		}},
-		"table3": {"Table 3: applications under constraint", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.Table3(o)
-			return renderOf(r, err)
-		}},
-		"fig8": {"Figure 8: time-at-frequency residency", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.Figure8(o)
-			return renderOf(r, err)
-		}},
-		"fig9": {"Figures 9+10: gap actual vs desired frequency at 75W", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.Figure9(o)
-			return renderOf(r, err)
-		}},
-		"worked": {"§5 worked example", func(experiments.Options) (renderer, error) {
-			r, err := experiments.WorkedExample()
-			return renderOf(r, err)
-		}},
-		"ab-policies": {"Ablation: fvsst vs uniform/power-down/util-DVS", func(experiments.Options) (renderer, error) {
-			r, err := experiments.AblationPolicies()
-			return renderOf(r, err)
-		}},
-		"ab-ideal": {"Ablation: discrete ε-scan vs closed-form f_ideal", func(experiments.Options) (renderer, error) {
-			r, err := experiments.AblationIdeal()
-			return renderOf(r, err)
-		}},
-		"ab-idle": {"Ablation: idle detection on/off", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.AblationIdle(o)
-			return renderOf(r, err)
-		}},
-		"ab-masking": {"Ablation: aggregation masking under multiprogramming", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.AblationMasking(o)
-			return renderOf(r, err)
-		}},
-		"ab-actuator": {"Ablation: throttle vs ideal DVFS actuator", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.AblationActuator(o)
-			return renderOf(r, err)
-		}},
-		"ab-epsilon": {"Ablation: ε performance/energy trade-off", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.AblationEpsilon(o)
-			return renderOf(r, err)
-		}},
-		"cluster": {"Cluster study: 3-tier cluster under a global cap, fvsst vs uniform", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.ClusterStudy(o)
-			return renderOf(r, err)
-		}},
-		"farm": {"Server farm: diurnal request load, power tracking demand", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.ServerFarm(o)
-			return renderOf(r, err)
-		}},
-		"ab-exec": {"Ablation: analytic vs Monte-Carlo execution model", func(o experiments.Options) (renderer, error) {
-			r, err := experiments.AblationExecModel(o)
-			return renderOf(r, err)
-		}},
+func usage() {
+	w := flag.CommandLine.Output()
+	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | <id>...]\n\nExperiments:\n")
+	for _, s := range experiments.Registry() {
+		fmt.Fprintf(w, "  %-12s %s\n", s.ID, s.Desc)
 	}
-}
-
-type renderer interface{ Render() string }
-
-func renderOf(r renderer, err error) (renderer, error) {
-	return r, err
-}
-
-// order is the presentation order for "all".
-var order = []string{
-	"table1", "fig1", "table2", "fig4", "fig5", "fig6", "fig7",
-	"table3", "fig8", "fig9", "worked",
-	"ab-policies", "ab-ideal", "ab-idle", "ab-masking", "ab-actuator", "ab-epsilon",
-	"ab-exec", "cluster", "farm",
+	fmt.Fprintf(w, "\nFlags:\n")
+	flag.PrintDefaults()
 }
 
 func main() {
@@ -129,6 +47,10 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable jitter/contention/sensor noise")
 	mc := flag.Bool("mc", false, "use Monte-Carlo execution instead of the analytic model")
 	csvDir := flag.String("csv", "", "directory to write full traces as CSV (fig5, fig9)")
+	parallel := flag.Int("parallel", 1, "worker-pool size for running experiments")
+	runFilter := flag.String("run", "", "regexp filtering the selected experiment ids")
+	benchOut := flag.String("bench-out", "", "write per-experiment wall-clock/allocation stats to this JSON file")
+	flag.Usage = usage
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -137,45 +59,78 @@ func main() {
 		Quiet:      *quiet,
 		MonteCarlo: *mc,
 	}
-	reg := registry()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"all"}
 	}
-	if args[0] == "list" {
-		ids := make([]string, 0, len(reg))
-		for id := range reg {
-			ids = append(ids, id)
-		}
+	switch args[0] {
+	case "list":
+		ids := experiments.IDs()
 		sort.Strings(ids)
 		for _, id := range ids {
-			fmt.Printf("  %-12s %s\n", id, reg[id].desc)
+			s, _ := experiments.Lookup(id)
+			fmt.Printf("  %-12s %s\n", id, s.Desc)
 		}
 		return
+	case "hotpath":
+		if err := runHotpath(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "all":
+		args = experiments.IDs()
 	}
-	if args[0] == "all" {
-		args = order
-	}
-	for i, id := range args {
-		r, ok := reg[id]
-		if !ok {
+
+	// Validate before running anything: an unknown id aborts the whole
+	// invocation, exactly like the old sequential loop's first iteration.
+	for _, id := range args {
+		if _, ok := experiments.Lookup(id); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try: experiments list)\n", id)
 			os.Exit(1)
 		}
-		rep, err := r.run(opts)
+	}
+	if *runFilter != "" {
+		re, err := regexp.Compile(*runFilter)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "bad -run pattern: %v\n", err)
+			os.Exit(1)
+		}
+		kept := args[:0]
+		for _, id := range args {
+			if re.MatchString(id) {
+				kept = append(kept, id)
+			}
+		}
+		args = kept
+	}
+
+	start := time.Now()
+	results := experiments.RunAll(opts, args, *parallel)
+	total := time.Since(start).Seconds()
+
+	if *benchOut != "" {
+		if err := experiments.WriteBenchJSON(*benchOut, *parallel, total, results); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *benchOut, err)
+			os.Exit(1)
+		}
+	}
+
+	for i, res := range results {
+		if res.Err != nil {
+			// res.Err already carries the id prefix.
+			fmt.Fprintf(os.Stderr, "%v\n", res.Err)
 			os.Exit(1)
 		}
 		if i > 0 {
 			fmt.Println(strings.Repeat("=", 78))
 		}
-		fmt.Print(rep.Render())
+		fmt.Print(res.Rendered)
 		if *csvDir != "" {
-			if w, ok := rep.(experiments.CSVWriter); ok {
+			if w, ok := res.Report.(experiments.CSVWriter); ok {
 				if err := w.WriteCSVTo(*csvDir); err != nil {
-					fmt.Fprintf(os.Stderr, "%s: write csv: %v\n", id, err)
+					fmt.Fprintf(os.Stderr, "%s: write csv: %v\n", res.ID, err)
 					os.Exit(1)
 				}
 				fmt.Printf("(traces written to %s)\n", *csvDir)

@@ -1,45 +1,72 @@
 package main
 
 import (
+	"flag"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
 )
 
-// TestOrderMatchesRegistry ensures every registered experiment is in the
-// "all" presentation order exactly once and vice versa.
-func TestOrderMatchesRegistry(t *testing.T) {
-	reg := registry()
+// TestRegistryWellFormed ensures every registered experiment has a unique
+// id, a description, and a runner — the invariants the generated usage and
+// `list` output rely on.
+func TestRegistryWellFormed(t *testing.T) {
 	seen := map[string]bool{}
-	for _, id := range order {
-		if _, ok := reg[id]; !ok {
-			t.Errorf("order entry %q not in registry", id)
+	for _, s := range experiments.Registry() {
+		if s.ID == "" || s.Desc == "" || s.Run == nil {
+			t.Errorf("registry entry %+v incomplete", s.ID)
 		}
-		if seen[id] {
-			t.Errorf("order entry %q duplicated", id)
+		if seen[s.ID] {
+			t.Errorf("registry id %q duplicated", s.ID)
 		}
-		seen[id] = true
+		seen[s.ID] = true
+		if got, ok := experiments.Lookup(s.ID); !ok || got.ID != s.ID {
+			t.Errorf("Lookup(%q) failed", s.ID)
+		}
 	}
-	for id := range reg {
-		if !seen[id] {
-			t.Errorf("registry entry %q missing from order", id)
-		}
+	if len(experiments.IDs()) != len(seen) {
+		t.Errorf("IDs() length %d != registry size %d", len(experiments.IDs()), len(seen))
 	}
 }
 
 // TestRegistryRunnersProduceOutput spot-checks the cheap analytic entries
 // end to end through the registry plumbing.
 func TestRegistryRunnersProduceOutput(t *testing.T) {
-	reg := registry()
 	o := experiments.TestOptions()
 	for _, id := range []string{"table1", "worked", "ab-policies", "ab-ideal"} {
-		rep, err := reg[id].run(o)
+		spec, ok := experiments.Lookup(id)
+		if !ok {
+			t.Errorf("%s: not registered", id)
+			continue
+		}
+		rep, err := spec.Run(o)
 		if err != nil {
 			t.Errorf("%s: %v", id, err)
 			continue
 		}
 		if len(rep.Render()) < 40 {
 			t.Errorf("%s: render too short", id)
+		}
+	}
+}
+
+// TestUsageListsEveryExperiment pins the anti-drift property this command
+// was refactored for: the usage text is generated from the registry, so
+// every id and description appears in it.
+func TestUsageListsEveryExperiment(t *testing.T) {
+	var b strings.Builder
+	prev := flag.CommandLine.Output()
+	flag.CommandLine.SetOutput(&b)
+	defer flag.CommandLine.SetOutput(prev)
+	usage()
+	text := b.String()
+	for _, s := range experiments.Registry() {
+		if !strings.Contains(text, s.ID) {
+			t.Errorf("usage text missing id %q", s.ID)
+		}
+		if !strings.Contains(text, s.Desc) {
+			t.Errorf("usage text missing description for %q", s.ID)
 		}
 	}
 }

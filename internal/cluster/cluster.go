@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/counters"
+	"repro/internal/engine"
 	"repro/internal/fvsst"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -93,10 +94,11 @@ type Coordinator struct {
 
 	pending   []pendingActuation
 	decisions []Decision
-	collects  int
-	now       float64
-	quantum   float64
-	sink      obs.Sink
+	// loop owns the cluster's simulated time and the collect-every-quantum /
+	// schedule-every-T cadence (engine.Loop replaces the coordinator's old
+	// hand-rolled now/quantum/collects accumulators).
+	loop *engine.Loop
+	sink obs.Sink
 }
 
 // New builds a coordinator over the nodes with a global processor power
@@ -129,12 +131,16 @@ func New(cfg fvsst.Config, budget units.Power, nodes ...*Node) (*Coordinator, er
 		}
 		n.sampler = sampler
 	}
+	loop, err := engine.NewLoop(quantum, cfg.SchedulePeriods)
+	if err != nil {
+		return nil, err
+	}
 	return &Coordinator{
-		cfg:     cfg,
-		core:    core,
-		nodes:   nodes,
-		budget:  budget,
-		quantum: quantum,
+		cfg:    cfg,
+		core:   core,
+		nodes:  nodes,
+		budget: budget,
+		loop:   loop,
 	}, nil
 }
 
@@ -153,7 +159,7 @@ func (c *Coordinator) Nodes() []*Node { return c.nodes }
 func (c *Coordinator) SetSink(sink obs.Sink) { c.sink = sink }
 
 // Now returns the cluster simulation time.
-func (c *Coordinator) Now() float64 { return c.now }
+func (c *Coordinator) Now() float64 { return c.loop.Now() }
 
 // Budget returns the current global budget.
 func (c *Coordinator) Budget() units.Power { return c.budget }
@@ -183,7 +189,7 @@ func (c *Coordinator) procs() []ProcRef {
 func (c *Coordinator) Step() error {
 	// Budget change trigger.
 	if c.Budgets != nil {
-		if want := c.Budgets.At(c.now); want != c.budget {
+		if want := c.Budgets.At(c.loop.Now()); want != c.budget {
 			c.budget = want
 			if err := c.schedule("budget-change"); err != nil {
 				return err
@@ -194,7 +200,7 @@ func (c *Coordinator) Step() error {
 	// Deliver matured actuations (they spent one RTT in flight).
 	kept := c.pending[:0]
 	for _, p := range c.pending {
-		if p.due <= c.now {
+		if p.due <= c.loop.Now() {
 			n := c.nodes[p.proc.Node]
 			if n.M != p.m {
 				// The node's machine was swapped or reset while this
@@ -217,19 +223,18 @@ func (c *Coordinator) Step() error {
 			return err
 		}
 	}
-	c.now += c.quantum
-	c.collects++
+	due := c.loop.Tick()
 
 	if c.sink != nil {
 		c.sink.Emit(obs.Event{
 			Type:      obs.EventQuantum,
-			At:        c.now,
+			At:        c.loop.Now(),
 			BudgetW:   c.budget.W(),
 			CPUPowerW: c.TotalCPUPower().W(),
 		})
 	}
 
-	if c.collects%c.cfg.SchedulePeriods == 0 {
+	if due {
 		return c.schedule("timer")
 	}
 	return nil
@@ -240,7 +245,7 @@ func (c *Coordinator) Step() error {
 // aggregate skips them.
 func (c *Coordinator) observation(p ProcRef) (perfmodel.Observation, bool) {
 	n := c.nodes[p.Node]
-	skip := staleQuanta(n.RTT, c.quantum)
+	skip := staleQuanta(n.RTT, c.loop.Quantum())
 	hist := n.sampler.History(p.CPU)
 	if hist.Len() <= skip {
 		return perfmodel.Observation{}, false
@@ -281,14 +286,14 @@ func (c *Coordinator) schedule(trigger string) error {
 	for i, p := range procs {
 		n := c.nodes[p.Node]
 		c.pending = append(c.pending, pendingActuation{
-			due:  c.now + n.RTT,
+			due:  c.loop.Now() + n.RTT,
 			proc: p,
 			f:    res.Assignments[i].Actual,
 			m:    n.M,
 		})
 	}
 	c.decisions = append(c.decisions, Decision{
-		At:          c.now,
+		At:          c.loop.Now(),
 		Trigger:     trigger,
 		Budget:      c.budget,
 		TablePower:  res.TablePower,
@@ -296,7 +301,7 @@ func (c *Coordinator) schedule(trigger string) error {
 		Assignments: res.Assignments,
 	})
 	if c.sink != nil {
-		c.sink.Emit(PassEvent(c.now, trigger, c.budget, inputs, res))
+		c.sink.Emit(PassEvent(c.loop.Now(), trigger, c.budget, inputs, res))
 	}
 	return nil
 }
@@ -310,7 +315,7 @@ func (c *Coordinator) Decisions() []Decision {
 
 // Run advances the cluster until simulation time t.
 func (c *Coordinator) Run(until float64) error {
-	for c.now < until {
+	for c.loop.Now() < until {
 		if err := c.Step(); err != nil {
 			return err
 		}
@@ -331,7 +336,7 @@ func (c *Coordinator) AllJobsDone() bool {
 // RunUntilAllDone advances until all workloads finish or the deadline
 // passes.
 func (c *Coordinator) RunUntilAllDone(deadline float64) (bool, error) {
-	for c.now < deadline {
+	for c.loop.Now() < deadline {
 		if c.AllJobsDone() {
 			return true, nil
 		}

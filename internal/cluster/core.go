@@ -26,8 +26,11 @@ type PassResult struct {
 	Demotions   []fvsst.Demotion
 	TablePower  units.Power
 	BudgetMet   bool
-	// decs keeps the per-proc decompositions for trace enrichment.
-	decs []*perfmodel.Decomposition
+	// predIPC/predValid keep each processor's predicted IPC at its actual
+	// setting for trace enrichment (predValid is false for idle or
+	// unobserved processors).
+	predIPC   []float64
+	predValid []bool
 }
 
 // Core is the transport-independent heart of the cluster scheduler: the
@@ -35,9 +38,20 @@ type PassResult struct {
 // set of processor observations. The in-process Coordinator and the
 // networked netcluster coordinator are two transports over this one core
 // — they differ only in how observations arrive and actuations depart.
+//
+// A Core owns a reusable prediction grid: each pass evaluates every
+// observed processor's frequency sweep exactly once and Steps 1–2 and the
+// trace enrichment read from it. Not safe for concurrent Schedule calls.
 type Core struct {
 	cfg  fvsst.Config
 	pred perfmodel.Predictor
+	set  units.FrequencySet
+
+	// Per-pass scratch (see docs/engine.md for the ownership rules).
+	grid       perfmodel.PredGrid
+	desiredIdx []int
+	actualIdx  []int
+	demo       []fvsst.Demotion
 }
 
 // NewCore validates the configuration and builds the shared core.
@@ -49,7 +63,7 @@ func NewCore(cfg fvsst.Config) (*Core, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Core{cfg: cfg, pred: pred}, nil
+	return &Core{cfg: cfg, pred: pred, set: cfg.Table.Frequencies()}, nil
 }
 
 // Config returns the core's scheduler configuration.
@@ -60,70 +74,81 @@ func (c *Core) Config() fvsst.Config { return c.cfg }
 // idle processors when the idle signal is enabled, f_max when no counter
 // data is available); Step 2 demotes least-loss processors until the
 // aggregate table power fits the budget; Step 3 assigns minimum voltages.
+// The returned Assignments and Demotions are freshly allocated (callers
+// retain them in decision logs); the intermediate per-frequency work runs
+// on the core's reusable scratch.
 func (c *Core) Schedule(inputs []ProcInput, budget units.Power) (PassResult, error) {
-	set := c.cfg.Table.Frequencies()
-	desired := make([]units.Frequency, len(inputs))
-	decs := make([]*perfmodel.Decomposition, len(inputs))
+	n := len(inputs)
+	c.grid.Reset(n, c.set)
+	if cap(c.desiredIdx) < n {
+		c.desiredIdx = make([]int, n)
+		c.actualIdx = make([]int, n)
+	}
+	c.desiredIdx = c.desiredIdx[:n]
+	c.actualIdx = c.actualIdx[:n]
+	nf := c.grid.NumFreqs()
 
 	for i, in := range inputs {
 		if c.cfg.UseIdleSignal && in.Idle {
-			desired[i] = set.Min()
+			c.desiredIdx[i] = 0 // set minimum
 			continue
 		}
 		if in.Obs == nil {
-			desired[i] = set.Max()
+			c.desiredIdx[i] = nf - 1 // set maximum
 			continue
 		}
 		dec, err := c.pred.Decompose(*in.Obs)
 		if err != nil {
 			return PassResult{}, fmt.Errorf("cluster: %s cpu %d: %w", in.Node, in.Proc.CPU, err)
 		}
-		decs[i] = &dec
+		c.grid.Fill(i, dec)
 		if c.cfg.UseIdealFrequency {
-			f, err := fvsst.IdealEpsilonFrequency(dec, set, c.cfg.Epsilon)
+			f, err := fvsst.IdealEpsilonFrequency(dec, c.set, c.cfg.Epsilon)
 			if err != nil {
 				return PassResult{}, err
 			}
-			desired[i] = f
+			c.desiredIdx[i] = c.cfg.Table.IndexOf(f)
 		} else {
-			desired[i] = fvsst.EpsilonFrequency(dec, set, c.cfg.Epsilon)
+			c.desiredIdx[i] = fvsst.EpsilonIndexGrid(&c.grid, i, c.cfg.Epsilon)
 		}
 	}
 
-	actual, demotions, met, err := fvsst.FitToBudgetTraced(decs, desired, c.cfg.Table, budget)
-	if err != nil {
-		return PassResult{}, err
-	}
-	volts, err := fvsst.Voltages(actual, c.cfg.Table)
-	if err != nil {
-		return PassResult{}, err
-	}
-	tablePower, err := fvsst.TotalTablePower(actual, c.cfg.Table)
-	if err != nil {
-		return PassResult{}, err
-	}
+	copy(c.actualIdx, c.desiredIdx)
+	demotions, met := fvsst.FitToBudgetGrid(&c.grid, c.actualIdx, c.cfg.Table, budget, c.demo[:0])
+	c.demo = demotions[:0] // keep any grown backing array
 
-	assignments := make([]Assignment, len(inputs))
+	var tablePower units.Power
+	assignments := make([]Assignment, n)
+	predIPC := make([]float64, n)
+	predValid := make([]bool, n)
 	for i, in := range inputs {
+		ai := c.actualIdx[i]
+		tablePower += c.cfg.Table.PowerAtIndex(ai)
 		a := Assignment{
 			Proc:    in.Proc,
-			Desired: desired[i],
-			Actual:  actual[i],
-			Voltage: volts[i],
+			Desired: c.cfg.Table.FrequencyAtIndex(c.desiredIdx[i]),
+			Actual:  c.cfg.Table.FrequencyAtIndex(ai),
+			Voltage: c.cfg.Table.VoltageAtIndex(ai),
 			Idle:    in.Idle,
 		}
-		if decs[i] != nil {
-			a.PredictedLoss = decs[i].PerfLoss(set.Max(), actual[i])
+		if c.grid.Valid(i) {
+			a.PredictedLoss = c.grid.Loss(i, ai)
+			predIPC[i] = c.grid.IPC(i, ai)
+			predValid[i] = true
 		}
 		assignments[i] = a
 	}
-	return PassResult{
+	res := PassResult{
 		Assignments: assignments,
-		Demotions:   demotions,
 		TablePower:  tablePower,
 		BudgetMet:   met,
-		decs:        decs,
-	}, nil
+		predIPC:     predIPC,
+		predValid:   predValid,
+	}
+	if len(demotions) > 0 {
+		res.Demotions = append([]fvsst.Demotion(nil), demotions...)
+	}
+	return res, nil
 }
 
 // PassEvent renders a pass as the obs.EventSchedule both cluster backends
@@ -149,9 +174,9 @@ func PassEvent(at float64, trigger string, budget units.Power, inputs []ProcInpu
 			ActualMHz:  a.Actual.MHz(),
 			VoltageV:   a.Voltage.V(),
 		}
-		if res.decs != nil && res.decs[i] != nil {
+		if res.predValid != nil && res.predValid[i] {
 			ct.PredictedLoss = a.PredictedLoss
-			ct.PredictedIPC = res.decs[i].IPCAt(a.Actual)
+			ct.PredictedIPC = res.predIPC[i]
 		}
 		ev.CPUs[i] = ct
 	}

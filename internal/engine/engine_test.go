@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSimClockTickAndAdvance(t *testing.T) {
+	c := NewSimClock(0.010)
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v, want 0", c.Now())
+	}
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	if got := c.Now(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("100 ticks of 10ms = %v, want 1.0", got)
+	}
+	c.Advance(0.5)
+	if got := c.Now(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("after Advance(0.5): %v, want 1.5", got)
+	}
+	if c.Quantum() != 0.010 {
+		t.Fatalf("quantum %v, want 0.010", c.Quantum())
+	}
+}
+
+func TestSimClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewSimClock(1).Advance(-1)
+}
+
+func TestWallClockMonotone(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("wall clock did not advance: %v then %v", a, b)
+	}
+}
+
+func TestCadenceDueEveryN(t *testing.T) {
+	cad, err := NewCadence(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	due := 0
+	for i := 1; i <= 35; i++ {
+		if cad.Tick() {
+			due++
+			if i%10 != 0 {
+				t.Fatalf("due at tick %d, want multiples of 10 only", i)
+			}
+		}
+	}
+	if due != 3 {
+		t.Fatalf("%d passes due over 35 ticks, want 3", due)
+	}
+	if cad.Ticks() != 35 || cad.Periods() != 10 {
+		t.Fatalf("ticks %d periods %d, want 35/10", cad.Ticks(), cad.Periods())
+	}
+}
+
+func TestCadenceRejectsBadPeriods(t *testing.T) {
+	if _, err := NewCadence(0); err == nil {
+		t.Fatal("NewCadence(0) accepted")
+	}
+}
+
+func TestLoopCadenceAndTime(t *testing.T) {
+	l, err := NewLoop(0.010, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes := 0
+	for i := 0; i < 100; i++ {
+		if l.Tick() {
+			passes++
+		}
+	}
+	if passes != 10 {
+		t.Fatalf("%d passes over 100 quanta at n=10, want 10", passes)
+	}
+	if got := l.Now(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("loop time %v after 100×10ms, want 1.0", got)
+	}
+	if l.Ticks() != 100 {
+		t.Fatalf("loop ticks %d, want 100", l.Ticks())
+	}
+}
+
+func TestLoopRejectsBadConfig(t *testing.T) {
+	if _, err := NewLoop(0, 10); err == nil {
+		t.Fatal("zero quantum accepted")
+	}
+	if _, err := NewLoop(0.01, 0); err == nil {
+		t.Fatal("zero periods accepted")
+	}
+}
+
+func TestLeaseOverSimClock(t *testing.T) {
+	clock := NewSimClock(1)
+	lease, err := NewLease(5*time.Second, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		clock.Tick()
+		if lease.Expire() {
+			t.Fatalf("lease expired after %ds of a 5s lease", i+1)
+		}
+	}
+	clock.Tick() // 6s since arm
+	if !lease.Expire() {
+		t.Fatal("lease did not expire past its duration")
+	}
+	if !lease.Tripped() {
+		t.Fatal("Tripped false after expiry")
+	}
+	// The expiry edge fires once.
+	clock.Tick()
+	if lease.Expire() {
+		t.Fatal("lease expired twice without a Touch")
+	}
+	// Touch re-arms.
+	lease.Touch()
+	if lease.Tripped() {
+		t.Fatal("Tripped true right after Touch")
+	}
+	clock.Advance(4)
+	if lease.Expire() {
+		t.Fatal("re-armed lease expired early")
+	}
+	clock.Advance(2)
+	if !lease.Expire() {
+		t.Fatal("re-armed lease did not expire after its duration")
+	}
+}
+
+func TestLeaseRejectsBadDuration(t *testing.T) {
+	if _, err := NewLease(0, nil); err == nil {
+		t.Fatal("zero-duration lease accepted")
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/fvsst"
 	"repro/internal/machine"
@@ -140,8 +141,15 @@ func (r *AblationMaskingReport) Render() string {
 		"Ablation: aggregation masking (1 CPU-bound + 3 memory-bound jobs, one CPU)\n"+
 			"  scheduler chose %.0fMHz believing the aggregate loses %.1f%% (ε=%.0f%%)\n",
 		r.ChosenMHz, r.AggregatePredictedLoss*100, r.Epsilon*100)
-	for name, loss := range r.PerJobTrueLoss {
-		out += fmt.Sprintf("    %-9s true loss %.1f%%\n", name, loss*100)
+	// Sorted order: map iteration order would make same-seed runs differ
+	// byte-for-byte, which the determinism regression tests forbid.
+	names := make([]string, 0, len(r.PerJobTrueLoss))
+	for name := range r.PerJobTrueLoss {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out += fmt.Sprintf("    %-9s true loss %.1f%%\n", name, r.PerJobTrueLoss[name]*100)
 	}
 	out += fmt.Sprintf("  masked job %s loses %.1f%% — %0.1f× the ε bound\n",
 		r.MaskedJob, r.MaskedJobLoss*100, r.MaskedJobLoss/r.Epsilon)

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRunAllParallelDeterminism pins the harness's core property: the same
+// Options produce byte-identical rendered reports at any worker count,
+// because every experiment derives all randomness from Options.Seed with
+// fixed offsets and shares no mutable state (see the RunAll doc for the
+// seeding convention). Table2 exercises the single-node path, cluster the
+// multi-node coordinator.
+func TestRunAllParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run too slow for -short")
+	}
+	ids := []string{"table2", "cluster"}
+	opts := TestOptions()
+
+	render := func(results []Result) []string {
+		t.Helper()
+		out := make([]string, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s: %v", r.ID, r.Err)
+			}
+			out[i] = r.Rendered
+		}
+		return out
+	}
+
+	first := render(RunAll(opts, ids, 4))
+	second := render(RunAll(opts, ids, 4))
+	sequential := render(RunAll(opts, ids, 1))
+	for i, id := range ids {
+		if first[i] != second[i] {
+			t.Errorf("%s: two parallel-4 runs differ", id)
+		}
+		if first[i] != sequential[i] {
+			t.Errorf("%s: parallel-4 differs from sequential", id)
+		}
+		if len(first[i]) == 0 {
+			t.Errorf("%s: empty render", id)
+		}
+	}
+}
+
+// benchIDs are the cheap analytic experiments — enough work to exercise
+// the pool without turning `make bench` into a full paper regeneration.
+var benchIDs = []string{"table1", "worked", "ab-policies", "ab-ideal", "ab-idle", "ab-masking"}
+
+func benchRunAll(b *testing.B, parallel int) {
+	opts := TestOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, r := range RunAll(opts, benchIDs, parallel) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkRunAllSequential / BenchmarkRunAllParallel4 compare the harness
+// at 1 vs 4 workers; on a ≥4-core box the parallel run should approach the
+// worker-count speedup since experiments share no state.
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel4(b *testing.B)  { benchRunAll(b, 4) }
+
+// TestRunAllOrderAndErrors checks input-order results and the error paths:
+// an unknown id is reported in place without failing the whole run.
+func TestRunAllOrderAndErrors(t *testing.T) {
+	results := RunAll(TestOptions(), []string{"worked", "no-such-id", "table1"}, 2)
+	if len(results) != 3 {
+		t.Fatalf("%d results for 3 ids", len(results))
+	}
+	if results[0].ID != "worked" || results[2].ID != "table1" {
+		t.Errorf("results out of input order: %q, %q", results[0].ID, results[2].ID)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("valid ids errored: %v, %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("unknown id did not error")
+	}
+	if results[0].Rendered == "" || results[0].WallSeconds < 0 {
+		t.Error("missing render or negative wall time")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+// Report is the common surface of every experiment's result: a rendered
+// text block, matching the paper's table or figure. Concrete reports carry
+// the underlying numbers too (and some implement CSVWriter).
+type Report interface{ Render() string }
+
+// Spec is one registered experiment: a stable id (the CLI argument), a
+// one-line description, and the runner. The registry is the single source
+// of truth — cmd/experiments derives its usage text, its `list` output and
+// its input validation from it, so the two can never drift.
+type Spec struct {
+	ID   string
+	Desc string
+	Run  func(Options) (Report, error)
+}
+
+// report adapts an (r, err) pair whose concrete type implements Render.
+func report[R Report](r R, err error) (Report, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Registry returns every experiment in presentation order — the order
+// `all` renders: the paper's tables and figures first, then the worked
+// example, the ablations, and the cluster studies.
+func Registry() []Spec {
+	return []Spec{
+		{"table1", "Table 1: frequency/power operating points vs fitted model", func(Options) (Report, error) {
+			return report(Table1())
+		}},
+		{"fig1", "Figure 1: performance saturation", func(o Options) (Report, error) {
+			return report(Figure1(o))
+		}},
+		{"table2", "Table 2: predictor IPC deviation", func(o Options) (Report, error) {
+			return report(Table2(o))
+		}},
+		{"fig4", "Figure 4: fvsst overhead", func(o Options) (Report, error) {
+			return report(Figure4(o))
+		}},
+		{"fig5", "Figure 5: phase tracking", func(o Options) (Report, error) {
+			return report(Figure5(o))
+		}},
+		{"fig6", "Figure 6: performance under power limits", func(o Options) (Report, error) {
+			return report(Figure6(o))
+		}},
+		{"fig7", "Figure 7: two-phase benchmark under constraints", func(o Options) (Report, error) {
+			return report(Figure7(o))
+		}},
+		{"table3", "Table 3: applications under constraint", func(o Options) (Report, error) {
+			return report(Table3(o))
+		}},
+		{"fig8", "Figure 8: time-at-frequency residency", func(o Options) (Report, error) {
+			return report(Figure8(o))
+		}},
+		{"fig9", "Figures 9+10: gap actual vs desired frequency at 75W", func(o Options) (Report, error) {
+			return report(Figure9(o))
+		}},
+		{"worked", "§5 worked example", func(Options) (Report, error) {
+			return report(WorkedExample())
+		}},
+		{"ab-policies", "Ablation: fvsst vs uniform/power-down/util-DVS", func(Options) (Report, error) {
+			return report(AblationPolicies())
+		}},
+		{"ab-ideal", "Ablation: discrete ε-scan vs closed-form f_ideal", func(Options) (Report, error) {
+			return report(AblationIdeal())
+		}},
+		{"ab-idle", "Ablation: idle detection on/off", func(o Options) (Report, error) {
+			return report(AblationIdle(o))
+		}},
+		{"ab-masking", "Ablation: aggregation masking under multiprogramming", func(o Options) (Report, error) {
+			return report(AblationMasking(o))
+		}},
+		{"ab-actuator", "Ablation: throttle vs ideal DVFS actuator", func(o Options) (Report, error) {
+			return report(AblationActuator(o))
+		}},
+		{"ab-epsilon", "Ablation: ε performance/energy trade-off", func(o Options) (Report, error) {
+			return report(AblationEpsilon(o))
+		}},
+		{"ab-exec", "Ablation: analytic vs Monte-Carlo execution model", func(o Options) (Report, error) {
+			return report(AblationExecModel(o))
+		}},
+		{"cluster", "Cluster study: 3-tier cluster under a global cap, fvsst vs uniform", func(o Options) (Report, error) {
+			return report(ClusterStudy(o))
+		}},
+		{"farm", "Server farm: diurnal request load, power tracking demand", func(o Options) (Report, error) {
+			return report(ServerFarm(o))
+		}},
+	}
+}
+
+// Lookup returns the spec for an experiment id.
+func Lookup(id string) (Spec, bool) {
+	for _, s := range Registry() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// IDs returns every experiment id in presentation order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, len(reg))
+	for i, s := range reg {
+		out[i] = s.ID
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Result is one experiment's outcome under RunAll: the report and its
+// pre-rendered text (so deterministic byte comparison needs no further
+// calls), or the error, plus the runner's wall-clock and heap-allocation
+// stats for BENCH_experiments.json.
+type Result struct {
+	ID       string
+	Report   Report
+	Rendered string
+	Err      error
+	// WallSeconds is the experiment's wall-clock run time.
+	WallSeconds float64
+	// AllocBytes/Allocs are the process-wide heap-allocation deltas over
+	// the run (runtime.MemStats.TotalAlloc / Mallocs). They are exact when
+	// parallel = 1; under a parallel pool concurrent experiments' traffic
+	// lands in whichever delta is open, so treat them as an upper bound.
+	AllocBytes uint64
+	Allocs     uint64
+}
+
+// RunAll executes the named experiments on a pool of `parallel` workers
+// (min 1) and returns the results in input order. An unknown id yields a
+// Result with Err set; execution errors land the same way — RunAll itself
+// never fails.
+//
+// Determinism and the seeding convention: every experiment builds its
+// entire world — machines, workloads, RNG streams — from Options alone.
+// All randomness descends from Options.Seed through fixed offsets (a
+// machine's power meter draws from Seed+1000, netcluster node i from
+// Seed+i, and so on); nothing is shared mutably between experiments and
+// nothing reads global RNG or wall-clock state into results. Two RunAll
+// calls with equal Options and ids therefore produce byte-identical
+// Rendered output for ANY worker count, including compared against the
+// plain sequential loop — the property the parallel harness rests on and
+// internal/experiments' determinism regression tests pin.
+func RunAll(opts Options, ids []string, parallel int) []Result {
+	if parallel < 1 {
+		parallel = 1
+	}
+	results := make([]Result, len(ids))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(opts, ids[i])
+			}
+		}()
+	}
+	for i := range ids {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single experiment with timing and allocation stats.
+func runOne(opts Options, id string) Result {
+	res := Result{ID: id}
+	spec, ok := Lookup(id)
+	if !ok {
+		res.Err = fmt.Errorf("unknown experiment %q (try: experiments list)", id)
+		return res
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	rep, err := spec.Run(opts)
+	res.WallSeconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	res.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	res.Allocs = after.Mallocs - before.Mallocs
+	if err != nil {
+		res.Err = fmt.Errorf("%s: %w", id, err)
+		return res
+	}
+	res.Report = rep
+	res.Rendered = rep.Render()
+	return res
+}
+
+// benchEntry is one experiment's row in the benchmark JSON.
+type benchEntry struct {
+	ID          string  `json:"id"`
+	WallSeconds float64 `json:"wall_seconds"`
+	AllocBytes  uint64  `json:"alloc_bytes"`
+	Allocs      uint64  `json:"allocs"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// benchFile is the BENCH_experiments.json shape.
+type benchFile struct {
+	Parallel    int          `json:"parallel"`
+	WallSeconds float64      `json:"wall_seconds"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+// WriteBenchJSON writes per-experiment wall-clock and allocation stats
+// (plus the whole run's wall time) as indented JSON, the
+// BENCH_experiments.json artefact of `make bench`.
+func WriteBenchJSON(path string, parallel int, totalWallSeconds float64, results []Result) error {
+	out := benchFile{
+		Parallel:    parallel,
+		WallSeconds: totalWallSeconds,
+		Experiments: make([]benchEntry, len(results)),
+	}
+	for i, r := range results {
+		e := benchEntry{ID: r.ID, WallSeconds: r.WallSeconds, AllocBytes: r.AllocBytes, Allocs: r.Allocs}
+		if r.Err != nil {
+			e.Error = r.Err.Error()
+		}
+		out.Experiments[i] = e
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

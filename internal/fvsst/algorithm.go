@@ -148,6 +148,68 @@ func FitToBudgetTraced(decs []*perfmodel.Decomposition, assigned []units.Frequen
 	}
 }
 
+// EpsilonIndexGrid is Step 1 over a pre-evaluated prediction grid: the
+// index of the lowest set frequency whose predicted loss is under epsilon.
+// The loss at the set maximum is zero, so the scan always terminates; the
+// result is identical to EpsilonFrequency over the same decomposition.
+func EpsilonIndexGrid(g *perfmodel.PredGrid, cpu int, epsilon float64) int {
+	n := g.NumFreqs()
+	for i := 0; i < n; i++ {
+		if g.Loss(cpu, i) < epsilon {
+			return i
+		}
+	}
+	return n - 1
+}
+
+// FitToBudgetGrid is Step 2 in index space: actualIdx[i] indexes processor
+// i's current setting in the table (ascending); the fit lowers indices —
+// always the processor whose next step down has the smallest grid loss,
+// ties toward the higher current index — until the aggregate table power
+// fits the budget, mutating actualIdx in place. Invalid grid rows (idle or
+// unobserved processors) count as zero loss, so they are lowered first.
+// Demotions are appended to the caller's buffer (pass a len-0 slice to
+// reuse its backing array) and returned with met, which is false when the
+// floor is reached with the budget still exceeded. The decisions are
+// identical to FitToBudgetTraced over the same inputs; only the data
+// representation differs — no per-step frequency searches, no allocation
+// beyond demotion growth.
+func FitToBudgetGrid(g *perfmodel.PredGrid, actualIdx []int, table *power.Table, budget units.Power, demotions []Demotion) ([]Demotion, bool) {
+	for {
+		var sum units.Power
+		for _, idx := range actualIdx {
+			sum += table.PowerAtIndex(idx)
+		}
+		if sum <= budget {
+			return demotions, true
+		}
+		best := -1
+		bestLoss := math.Inf(1)
+		for i, idx := range actualIdx {
+			if idx == 0 {
+				continue // already at minimum
+			}
+			loss := 0.0
+			if g.Valid(i) {
+				loss = g.Loss(i, idx-1)
+			}
+			if loss < bestLoss || (loss == bestLoss && best >= 0 && idx > actualIdx[best]) {
+				best, bestLoss = i, loss
+			}
+		}
+		if best < 0 {
+			return demotions, false // floor reached, budget still exceeded
+		}
+		demotions = append(demotions, Demotion{
+			CPU:           best,
+			From:          table.FrequencyAtIndex(actualIdx[best]),
+			To:            table.FrequencyAtIndex(actualIdx[best] - 1),
+			PredictedLoss: bestLoss,
+		})
+		actualIdx[best]--
+	}
+}
+
 // Voltages performs Step 3: the minimum table voltage for each assigned
 // frequency.
 func Voltages(assigned []units.Frequency, table *power.Table) ([]units.Voltage, error) {

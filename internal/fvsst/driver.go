@@ -46,6 +46,13 @@ type Driver struct {
 
 	prevIdle []bool
 	started  bool
+	// series caches the Recorder's series handles so record() does not
+	// repeat the by-name map lookups every quantum.
+	series struct {
+		systemPower, cpuPower, budget    *telemetry.Series
+		ipc, freq, desiredMHz, actualMHz *telemetry.Series
+		from                             *telemetry.Recorder
+	}
 }
 
 // NewDriver wires a machine and scheduler together.
@@ -190,26 +197,50 @@ func (d *Driver) chargeSchedule() error {
 }
 
 // record emits per-quantum telemetry for the traced CPU and the machine.
+// Series handles are resolved once per Recorder and cached; the per-quantum
+// path is append-only.
 func (d *Driver) record() {
 	if d.Recorder == nil {
 		return
 	}
+	if d.series.from != d.Recorder {
+		// New or replaced recorder: drop stale handles. Series are
+		// resolved on first use below, not eagerly, because Series()
+		// creates on lookup and an untraced driver must not create the
+		// per-CPU series (their presence shows in Names()/WriteCSV).
+		d.series.from = d.Recorder
+		d.series.systemPower = d.Recorder.Series("system-power-w")
+		d.series.cpuPower = d.Recorder.Series("cpu-power-w")
+		d.series.budget = d.Recorder.Series("budget-w")
+		d.series.ipc = nil
+		d.series.freq = nil
+		d.series.desiredMHz = nil
+		d.series.actualMHz = nil
+	}
 	now := d.M.Now()
-	d.Recorder.Series("system-power-w").MustAppend(now, d.M.SystemPower().W())
-	d.Recorder.Series("cpu-power-w").MustAppend(now, d.M.TotalCPUPower().W())
-	d.Recorder.Series("budget-w").MustAppend(now, d.S.Budget().W())
+	d.series.systemPower.MustAppend(now, d.M.SystemPower().W())
+	d.series.cpuPower.MustAppend(now, d.M.TotalCPUPower().W())
+	d.series.budget.MustAppend(now, d.S.Budget().W())
 	if d.TraceCPU >= 0 && d.TraceCPU < d.M.NumCPUs() {
+		if d.series.ipc == nil {
+			d.series.ipc = d.Recorder.Series("ipc")
+			d.series.freq = d.Recorder.Series("freq-mhz")
+		}
 		q := d.M.LastQuantum(d.TraceCPU)
 		ipc := 0.0
 		if q.Cycles > 0 {
 			ipc = float64(q.Instructions) / float64(q.Cycles)
 		}
-		d.Recorder.Series("ipc").MustAppend(now, ipc)
-		d.Recorder.Series("freq-mhz").MustAppend(now, d.M.EffectiveFrequency(d.TraceCPU).MHz())
+		d.series.ipc.MustAppend(now, ipc)
+		d.series.freq.MustAppend(now, d.M.EffectiveFrequency(d.TraceCPU).MHz())
 		if dec, ok := d.S.LastDecision(); ok {
+			if d.series.desiredMHz == nil {
+				d.series.desiredMHz = d.Recorder.Series("desired-mhz")
+				d.series.actualMHz = d.Recorder.Series("actual-mhz")
+			}
 			a := dec.Assignments[d.TraceCPU]
-			d.Recorder.Series("desired-mhz").MustAppend(now, a.Desired.MHz())
-			d.Recorder.Series("actual-mhz").MustAppend(now, a.Actual.MHz())
+			d.series.desiredMHz.MustAppend(now, a.Desired.MHz())
+			d.series.actualMHz.MustAppend(now, a.Actual.MHz())
 		}
 	}
 }

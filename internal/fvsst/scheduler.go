@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/counters"
+	"repro/internal/engine"
 	"repro/internal/memhier"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
@@ -212,7 +213,9 @@ type Scheduler struct {
 	budget    units.Power
 	set       units.FrequencySet
 	decisions []Decision
-	collects  int
+	// cadence owns the T = n·t rule: every n-th Collect makes a
+	// scheduling pass due.
+	cadence engine.Cadence
 	// prevObs holds the previous scheduling window per CPU for the
 	// two-point calibration mode.
 	prevObs   []perfmodel.Observation
@@ -226,6 +229,28 @@ type Scheduler struct {
 	lastPredValid []bool
 	// sink, when non-nil, receives one obs.EventSchedule per pass.
 	sink obs.Sink
+
+	// Per-pass scratch, valid for the duration of one Schedule call and
+	// reused across passes so the steady-state hot path performs no
+	// allocation (see docs/engine.md for the ownership rules). Frequencies
+	// are handled as table indices: desiredIdx is Step 1's ε-constrained
+	// setting, actualIdx the post-Step-2 setting.
+	grid          perfmodel.PredGrid
+	desiredIdx    []int
+	actualIdx     []int
+	observed      []float64
+	obsOK         []bool
+	idle          []bool
+	volts         []units.Voltage
+	scratchAssign []Assignment
+	scratchDemo   []Demotion
+	// logDecisions gates the decision log. On (the default) every pass
+	// copies its assignments and demotions into a fresh Decision and
+	// appends it; off, Schedule's Decision aliases the scratch buffers —
+	// valid only until the next pass — and Decisions()/LastDecision see
+	// nothing. Long-running daemons turn it off: an unbounded log is a
+	// leak, and the append is the hot path's one remaining allocation.
+	logDecisions bool
 }
 
 // New builds a scheduler over the target with an initial processor power
@@ -251,20 +276,36 @@ func New(cfg Config, target Target, budget units.Power) (*Scheduler, error) {
 	if cfg.VoltageTables != nil && len(cfg.VoltageTables) != target.NumCPUs() {
 		return nil, fmt.Errorf("fvsst: %d voltage tables for %d CPUs", len(cfg.VoltageTables), target.NumCPUs())
 	}
-	return &Scheduler{
+	cadence, err := engine.NewCadence(cfg.SchedulePeriods)
+	if err != nil {
+		return nil, err
+	}
+	n := target.NumCPUs()
+	s := &Scheduler{
 		cfg:           cfg,
 		target:        target,
 		sampler:       sampler,
 		predictor:     pred,
 		budget:        budget,
 		set:           cfg.Table.Frequencies(),
-		prevObs:       make([]perfmodel.Observation, target.NumCPUs()),
-		prevValid:     make([]bool, target.NumCPUs()),
-		lastDesired:   make([]units.Frequency, target.NumCPUs()),
-		desireStreak:  make([]int, target.NumCPUs()),
-		lastPredIPC:   make([]float64, target.NumCPUs()),
-		lastPredValid: make([]bool, target.NumCPUs()),
-	}, nil
+		cadence:       cadence,
+		prevObs:       make([]perfmodel.Observation, n),
+		prevValid:     make([]bool, n),
+		lastDesired:   make([]units.Frequency, n),
+		desireStreak:  make([]int, n),
+		lastPredIPC:   make([]float64, n),
+		lastPredValid: make([]bool, n),
+		desiredIdx:    make([]int, n),
+		actualIdx:     make([]int, n),
+		observed:      make([]float64, n),
+		obsOK:         make([]bool, n),
+		idle:          make([]bool, n),
+		volts:         make([]units.Voltage, n),
+		scratchAssign: make([]Assignment, n),
+		logDecisions:  true,
+	}
+	s.grid.Reset(n, s.set)
+	return s, nil
 }
 
 // SetSink attaches an observability sink that receives one structured
@@ -272,6 +313,14 @@ func New(cfg Config, target Target, budget units.Power) (*Scheduler, error) {
 // default — disables tracing; the only hot-path cost left is a pointer
 // test, proven by the sink benchmarks in bench_test.go.
 func (s *Scheduler) SetSink(sink obs.Sink) { s.sink = sink }
+
+// SetDecisionLogging toggles the in-memory decision log (default on).
+// With logging off the Decision returned by Schedule aliases the
+// scheduler's reusable scratch — it is valid until the next pass and is
+// never retained, so the steady-state Schedule path performs zero heap
+// allocations — and Decisions()/LastDecision report nothing. Long-running
+// deployments disable it: the log grows without bound.
+func (s *Scheduler) SetDecisionLogging(on bool) { s.logDecisions = on }
 
 // Config returns the scheduler's configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
@@ -296,8 +345,7 @@ func (s *Scheduler) Collect() (due bool, err error) {
 	if err := s.sampler.Collect(); err != nil {
 		return false, err
 	}
-	s.collects++
-	return s.collects%s.cfg.SchedulePeriods == 0, nil
+	return s.cadence.Tick(), nil
 }
 
 // observationFor builds the predictor observation for cpu from the last
@@ -312,12 +360,16 @@ func (s *Scheduler) observationFor(cpu int) (perfmodel.Observation, bool) {
 }
 
 // decompose derives the cycle decomposition for one CPU's window,
-// honouring the configured calibration modes.
+// honouring the configured calibration modes. The window is banked as the
+// CPU's previous observation whether or not decomposition succeeds.
 func (s *Scheduler) decompose(cpu int, obs perfmodel.Observation) (perfmodel.Decomposition, error) {
-	defer func() {
-		s.prevObs[cpu] = obs
-		s.prevValid[cpu] = true
-	}()
+	dec, err := s.decomposeWindow(cpu, obs)
+	s.prevObs[cpu] = obs
+	s.prevValid[cpu] = true
+	return dec, err
+}
+
+func (s *Scheduler) decomposeWindow(cpu int, obs perfmodel.Observation) (perfmodel.Decomposition, error) {
 	if s.cfg.UseTwoPointCalibration && s.prevValid[cpu] {
 		prev := s.prevObs[cpu]
 		// Two usable points need meaningfully distinct frequencies or the
@@ -371,46 +423,76 @@ func (s *Scheduler) isIdle(cpu int) bool {
 	return false
 }
 
+// resetScratch prepares the per-pass buffers for a pass over n processors,
+// reusing their backing arrays.
+func (s *Scheduler) resetScratch(n int) {
+	s.grid.Reset(n, s.set)
+	if cap(s.desiredIdx) < n {
+		s.desiredIdx = make([]int, n)
+		s.actualIdx = make([]int, n)
+		s.observed = make([]float64, n)
+		s.obsOK = make([]bool, n)
+		s.idle = make([]bool, n)
+		s.volts = make([]units.Voltage, n)
+		s.scratchAssign = make([]Assignment, n)
+	}
+	s.desiredIdx = s.desiredIdx[:n]
+	s.actualIdx = s.actualIdx[:n]
+	s.observed = s.observed[:n]
+	s.obsOK = s.obsOK[:n]
+	s.idle = s.idle[:n]
+	s.volts = s.volts[:n]
+	s.scratchAssign = s.scratchAssign[:n]
+	for i := 0; i < n; i++ {
+		s.observed[i] = 0
+		s.obsOK[i] = false
+		s.idle[i] = false
+	}
+}
+
 // Schedule runs one full pass of the Figure 3 algorithm and actuates the
 // result. trigger labels the cause in the decision log ("timer",
 // "budget-change", "idle-transition").
+//
+// The pass works in operating-point index space over a per-scheduler
+// prediction grid: each busy CPU's frequency sweep is evaluated exactly
+// once (perfmodel.PredGrid) and Step 1, Step 2 and the decision
+// attribution all read from it. The decisions are identical to the direct
+// per-frequency computation — the grid stores the same bit patterns.
 func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 	n := s.target.NumCPUs()
-	desired := make([]units.Frequency, n)
-	decs := make([]*perfmodel.Decomposition, n)
-	observed := make([]float64, n)
-	obsOK := make([]bool, n)
-	idle := make([]bool, n)
+	s.resetScratch(n)
+	nf := s.grid.NumFreqs()
 
 	// Step 1: ε-constrained frequency per processor.
 	for cpu := 0; cpu < n; cpu++ {
 		if s.isIdle(cpu) {
-			idle[cpu] = true
-			desired[cpu] = s.set.Min()
+			s.idle[cpu] = true
+			s.desiredIdx[cpu] = 0 // set minimum
 			continue
 		}
-		obs, ok := s.observationFor(cpu)
+		obsv, ok := s.observationFor(cpu)
 		if !ok {
 			// No usable window (just started, or fully throttled):
 			// schedule conservatively at maximum.
-			desired[cpu] = s.set.Max()
+			s.desiredIdx[cpu] = nf - 1
 			continue
 		}
-		dec, err := s.decompose(cpu, obs)
+		dec, err := s.decompose(cpu, obsv)
 		if err != nil {
 			return Decision{}, fmt.Errorf("fvsst: cpu %d: %w", cpu, err)
 		}
-		decs[cpu] = &dec
-		observed[cpu] = obs.Delta.IPC()
-		obsOK[cpu] = true
+		s.grid.Fill(cpu, dec)
+		s.observed[cpu] = obsv.Delta.IPC()
+		s.obsOK[cpu] = true
 		if s.cfg.UseIdealFrequency {
 			f, err := IdealEpsilonFrequency(dec, s.set, s.cfg.Epsilon)
 			if err != nil {
 				return Decision{}, err
 			}
-			desired[cpu] = f
+			s.desiredIdx[cpu] = s.cfg.Table.IndexOf(f)
 		} else {
-			desired[cpu] = EpsilonFrequency(dec, s.set, s.cfg.Epsilon)
+			s.desiredIdx[cpu] = EpsilonIndexGrid(&s.grid, cpu, s.cfg.Epsilon)
 		}
 	}
 
@@ -419,88 +501,95 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 	// current setting. Step 2's forced downward moves are applied after
 	// this filter and are never debounced.
 	if k := s.cfg.DebouncePasses; k >= 2 {
-		for cpu := range desired {
-			if desired[cpu] == s.lastDesired[cpu] {
+		for cpu := 0; cpu < n; cpu++ {
+			df := s.set[s.desiredIdx[cpu]]
+			if df == s.lastDesired[cpu] {
 				s.desireStreak[cpu]++
 			} else {
-				s.lastDesired[cpu] = desired[cpu]
+				s.lastDesired[cpu] = df
 				s.desireStreak[cpu] = 1
 			}
 			cur := s.set.ClampTo(s.target.EffectiveFrequency(cpu))
-			if desired[cpu] != cur && s.desireStreak[cpu] < k {
-				desired[cpu] = cur
+			if df != cur && s.desireStreak[cpu] < k {
+				s.desiredIdx[cpu] = s.cfg.Table.IndexOf(cur)
 			}
 		}
 	}
 
 	// Step 2: fit the aggregate power to the budget, recording every
 	// reduction for the decision's demotion attribution.
-	actual, demotions, met, err := FitToBudgetTraced(decs, desired, s.cfg.Table, s.budget)
-	if err != nil {
-		return Decision{}, err
-	}
+	copy(s.actualIdx, s.desiredIdx)
+	demotions, met := FitToBudgetGrid(&s.grid, s.actualIdx, s.cfg.Table, s.budget, s.scratchDemo[:0])
+	s.scratchDemo = demotions[:0] // keep any grown backing array
 
 	// Step 3: voltages — per-CPU tables when the machine has process
-	// variation, otherwise the shared table.
-	volts := make([]units.Voltage, n)
+	// variation, otherwise index math on the shared table.
 	for cpu := 0; cpu < n; cpu++ {
-		vt := s.cfg.Table
 		if s.cfg.VoltageTables != nil {
-			vt = s.cfg.VoltageTables[cpu]
+			v, err := s.cfg.VoltageTables[cpu].MinVoltage(s.cfg.Table.FrequencyAtIndex(s.actualIdx[cpu]))
+			if err != nil {
+				return Decision{}, fmt.Errorf("fvsst: voltage for cpu %d: %w", cpu, err)
+			}
+			s.volts[cpu] = v
+		} else {
+			s.volts[cpu] = s.cfg.Table.VoltageAtIndex(s.actualIdx[cpu])
 		}
-		v, err := vt.MinVoltage(actual[cpu])
-		if err != nil {
-			return Decision{}, fmt.Errorf("fvsst: voltage for cpu %d: %w", cpu, err)
-		}
-		volts[cpu] = v
 	}
 
 	// Actuate and log.
-	assignments := make([]Assignment, n)
+	var tablePower units.Power
 	for cpu := 0; cpu < n; cpu++ {
-		if err := s.target.SetFrequency(cpu, actual[cpu]); err != nil {
+		ai := s.actualIdx[cpu]
+		actualF := s.cfg.Table.FrequencyAtIndex(ai)
+		tablePower += s.cfg.Table.PowerAtIndex(ai)
+		if err := s.target.SetFrequency(cpu, actualF); err != nil {
 			return Decision{}, fmt.Errorf("fvsst: actuate cpu %d: %w", cpu, err)
 		}
 		a := Assignment{
 			CPU:     cpu,
-			Desired: desired[cpu],
-			Actual:  actual[cpu],
-			Voltage: volts[cpu],
-			Idle:    idle[cpu],
+			Desired: s.cfg.Table.FrequencyAtIndex(s.desiredIdx[cpu]),
+			Actual:  actualF,
+			Voltage: s.volts[cpu],
+			Idle:    s.idle[cpu],
 		}
-		if decs[cpu] != nil {
-			a.PredictedLoss = decs[cpu].PerfLoss(s.set.Max(), actual[cpu])
-			a.PredictedIPC = decs[cpu].IPCAt(actual[cpu])
-			a.ObservedIPC = observed[cpu]
+		if s.grid.Valid(cpu) {
+			a.PredictedLoss = s.grid.Loss(cpu, ai)
+			a.PredictedIPC = s.grid.IPC(cpu, ai)
+			a.ObservedIPC = s.observed[cpu]
 		}
 		// Score the previous pass's prediction against the window that
 		// just elapsed, then bank this pass's prediction for the next.
-		if obsOK[cpu] && s.lastPredValid[cpu] && s.lastPredIPC[cpu] > 0 {
-			a.PredictionError = (observed[cpu] - s.lastPredIPC[cpu]) / s.lastPredIPC[cpu]
+		if s.obsOK[cpu] && s.lastPredValid[cpu] && s.lastPredIPC[cpu] > 0 {
+			a.PredictionError = (s.observed[cpu] - s.lastPredIPC[cpu]) / s.lastPredIPC[cpu]
 			a.PredictionValid = true
 		}
-		if decs[cpu] != nil {
+		if s.grid.Valid(cpu) {
 			s.lastPredIPC[cpu] = a.PredictedIPC
 			s.lastPredValid[cpu] = true
 		} else {
 			s.lastPredValid[cpu] = false
 		}
-		assignments[cpu] = a
-	}
-	tablePower, err := TotalTablePower(actual, s.cfg.Table)
-	if err != nil {
-		return Decision{}, err
+		s.scratchAssign[cpu] = a
 	}
 	d := Decision{
-		At:          s.target.Now(),
-		Trigger:     trigger,
-		Budget:      s.budget,
-		TablePower:  tablePower,
-		BudgetMet:   met,
-		Assignments: assignments,
-		Demotions:   demotions,
+		At:         s.target.Now(),
+		Trigger:    trigger,
+		Budget:     s.budget,
+		TablePower: tablePower,
+		BudgetMet:  met,
 	}
-	s.decisions = append(s.decisions, d)
+	if s.logDecisions {
+		d.Assignments = append([]Assignment(nil), s.scratchAssign...)
+		if len(demotions) > 0 {
+			d.Demotions = append([]Demotion(nil), demotions...)
+		}
+		s.decisions = append(s.decisions, d)
+	} else {
+		d.Assignments = s.scratchAssign
+		if len(demotions) > 0 {
+			d.Demotions = demotions
+		}
+	}
 	if s.sink != nil {
 		s.sink.Emit(d.Event())
 	}

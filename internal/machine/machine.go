@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"repro/internal/counters"
+	"repro/internal/engine"
 	"repro/internal/memhier"
 	"repro/internal/power"
 	"repro/internal/throttle"
@@ -162,9 +163,11 @@ type cpu struct {
 // Machine is the running simulator. It is not safe for concurrent use; the
 // simulation is single-threaded by design (deterministic).
 type Machine struct {
-	cfg    Config
-	cpus   []*cpu
-	now    float64
+	cfg  Config
+	cpus []*cpu
+	// clock is the machine's simulated time source, advancing one dispatch
+	// quantum per Step.
+	clock  engine.SimClock
 	rng    *rand.Rand
 	meter  *power.Meter
 	energy power.EnergyMeter
@@ -174,6 +177,8 @@ type Machine struct {
 	completions []JobCompletion
 	// arrivals holds future job submissions (open workloads), time-sorted.
 	arrivals workload.Schedule
+	// prevRates is Step's reused contention-coupling scratch.
+	prevRates []float64
 }
 
 // New builds a machine from the configuration. Every CPU starts at nominal
@@ -188,6 +193,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{
 		cfg:   cfg,
+		clock: *engine.NewSimClock(cfg.Quantum),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		meter: meter,
 	}
@@ -206,7 +212,7 @@ func New(cfg Config) (*Machine, error) {
 }
 
 // Now returns the simulation time in seconds.
-func (m *Machine) Now() float64 { return m.now }
+func (m *Machine) Now() float64 { return m.clock.Now() }
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -221,7 +227,7 @@ func (m *Machine) ReadCounters(i int) (counters.Sample, error) {
 		return counters.Sample{}, fmt.Errorf("machine: cpu %d out of range", i)
 	}
 	s := m.cpus[i].totals
-	s.Time = m.now
+	s.Time = m.clock.Now()
 	return s, nil
 }
 
@@ -244,13 +250,13 @@ func (m *Machine) SetFrequency(i int, f units.Frequency) error {
 	if i < 0 || i >= len(m.cpus) {
 		return fmt.Errorf("machine: cpu %d out of range", i)
 	}
-	_, err := m.cpus[i].throt.Request(m.now, f)
+	_, err := m.cpus[i].throt.Request(m.clock.Now(), f)
 	return err
 }
 
 // EffectiveFrequency returns the frequency CPU i currently runs at.
 func (m *Machine) EffectiveFrequency(i int) units.Frequency {
-	return m.cpus[i].throt.Effective(m.now)
+	return m.cpus[i].throt.Effective(m.clock.Now())
 }
 
 // IsIdle reports whether CPU i currently has no runnable work — the signal
@@ -338,10 +344,10 @@ func (m *Machine) BusySeconds(i int) float64 { return m.cpus[i].busySeconds }
 // Utilization returns CPU i's busy fraction of the elapsed simulation, or
 // 0 before any quantum ran.
 func (m *Machine) Utilization(i int) float64 {
-	if m.now == 0 {
+	if m.clock.Now() == 0 {
 		return 0
 	}
-	return m.cpus[i].busySeconds / m.now
+	return m.cpus[i].busySeconds / m.clock.Now()
 }
 
 // AllJobsDone reports whether every assigned mix has completed (idle CPUs
@@ -380,7 +386,7 @@ func (m *Machine) PendingArrivals() int { return len(m.arrivals) }
 
 // admitArrivals moves matured arrivals into their CPUs' mixes.
 func (m *Machine) admitArrivals() {
-	for len(m.arrivals) > 0 && m.arrivals[0].At <= m.now {
+	for len(m.arrivals) > 0 && m.arrivals[0].At <= m.clock.Now() {
 		a := m.arrivals[0]
 		m.arrivals = m.arrivals[1:]
 		c := m.cpus[a.CPU]
@@ -403,13 +409,18 @@ func (m *Machine) Step() {
 	m.admitArrivals()
 	dt := m.cfg.Quantum
 	// Contention couples through the *previous* quantum's traffic so each
-	// step remains an explicit (non-fixed-point) update.
-	prevRates := make([]float64, len(m.cpus))
+	// step remains an explicit (non-fixed-point) update. prevRates is a
+	// reused per-step scratch buffer (the Step hot path allocates nothing
+	// in steady state).
+	if cap(m.prevRates) < len(m.cpus) {
+		m.prevRates = make([]float64, len(m.cpus))
+	}
+	m.prevRates = m.prevRates[:len(m.cpus)]
 	for i, c := range m.cpus {
-		prevRates[i] = c.last.PostL1Rate
+		m.prevRates[i] = c.last.PostL1Rate
 	}
 	for i, c := range m.cpus {
-		m.stepCPU(i, c, dt, m.partnerRate(i, prevRates))
+		m.stepCPU(i, c, dt, m.partnerRate(i, m.prevRates))
 	}
 	// Integrate energy at the post-actuation operating points.
 	cpuP := m.TotalCPUPower()
@@ -419,7 +430,7 @@ func (m *Machine) Step() {
 	if err := m.energy.Accumulate(m.cfg.NonCPU+cpuP, dt); err != nil {
 		panic(err)
 	}
-	m.now += dt
+	m.clock.Tick()
 }
 
 // partnerRate returns the shared-L2 partner's post-L1 rate for CPU i, or 0
@@ -436,7 +447,7 @@ func (m *Machine) partnerRate(i int, rates []float64) float64 {
 }
 
 func (m *Machine) stepCPU(i int, c *cpu, dt float64, partnerRate float64) {
-	f := c.throt.Effective(m.now)
+	f := c.throt.Effective(m.clock.Now())
 	stats := QuantumStats{Freq: f}
 	avail := dt
 
@@ -482,7 +493,7 @@ func (m *Machine) stepCPU(i int, c *cpu, dt float64, partnerRate float64) {
 			break
 		}
 		// Precise completion time: offset into the quantum already spent.
-		m.completions = append(m.completions, JobCompletion{CPU: i, Program: job.Program().Name, At: m.now + (dt - avail)})
+		m.completions = append(m.completions, JobCompletion{CPU: i, Program: job.Program().Name, At: m.clock.Now() + (dt - avail)})
 		c.completions++
 	}
 	// The CPU is idle exactly when it has no runnable work left.
@@ -580,7 +591,7 @@ func (m *Machine) RunQuanta(n int) {
 // RunUntil advances the simulation until simulation time t (inclusive of
 // the quantum containing t).
 func (m *Machine) RunUntil(t float64) {
-	for m.now < t {
+	for m.clock.Now() < t {
 		m.Step()
 	}
 }
@@ -589,7 +600,7 @@ func (m *Machine) RunUntil(t float64) {
 // deadline (simulation seconds) passes; it returns true when all jobs
 // finished.
 func (m *Machine) RunUntilAllDone(deadline float64) bool {
-	for m.now < deadline {
+	for m.clock.Now() < deadline {
 		if m.AllJobsDone() {
 			return true
 		}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/counters"
+	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/netcluster/proto"
 	"repro/internal/obs"
@@ -56,11 +57,13 @@ type Agent struct {
 	ln      net.Listener
 	quantum float64
 
-	mu          sync.Mutex
-	sampler     *counters.Sampler
-	lastContact time.Time
-	failsafed   bool
-	conns       map[proto.Conn]struct{}
+	mu      sync.Mutex
+	sampler *counters.Sampler
+	// lease is the coordinator-silence watchdog (engine.Lease over the
+	// wall clock), guarded by mu as the Lease itself is unsynchronized.
+	// Nil when the failsafe is disabled.
+	lease *engine.Lease
+	conns map[proto.Conn]struct{}
 
 	closed chan struct{}
 	wg     sync.WaitGroup
@@ -104,12 +107,16 @@ func (a *Agent) Start() error {
 		return fmt.Errorf("netcluster: agent %s listen: %w", a.cfg.Name, err)
 	}
 	a.ln = ln
-	a.mu.Lock()
-	a.lastContact = time.Now()
-	a.mu.Unlock()
 	a.wg.Add(1)
 	go a.acceptLoop()
 	if a.cfg.FailsafeLease > 0 {
+		lease, err := engine.NewLease(a.cfg.FailsafeLease, nil)
+		if err != nil {
+			return err
+		}
+		a.mu.Lock()
+		a.lease = lease
+		a.mu.Unlock()
 		a.wg.Add(1)
 		go a.watchdog()
 	}
@@ -151,7 +158,7 @@ func (a *Agent) Now() float64 {
 func (a *Agent) FailsafeTripped() bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.failsafed
+	return a.lease != nil && a.lease.Tripped()
 }
 
 func (a *Agent) acceptLoop() {
@@ -178,7 +185,7 @@ func (a *Agent) watchdog() {
 		case <-tick.C:
 		}
 		a.mu.Lock()
-		expired := !a.failsafed && time.Since(a.lastContact) > a.cfg.FailsafeLease
+		expired := a.lease.Expire()
 		if expired {
 			m := a.cfg.M
 			fMin := m.Config().Table.MinFrequency()
@@ -187,7 +194,6 @@ func (a *Agent) watchdog() {
 				// errors so one bad CPU cannot keep the others hot.
 				_ = m.SetFrequency(cpu, fMin)
 			}
-			a.failsafed = true
 		}
 		a.mu.Unlock()
 		if expired && a.cfg.Sink != nil {
@@ -204,8 +210,9 @@ func (a *Agent) watchdog() {
 // touch records coordinator contact and re-arms the failsafe.
 func (a *Agent) touch() {
 	a.mu.Lock()
-	a.lastContact = time.Now()
-	a.failsafed = false
+	if a.lease != nil {
+		a.lease.Touch()
+	}
 	a.mu.Unlock()
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/fvsst"
 	"repro/internal/netcluster/proto"
 	"repro/internal/obs"
@@ -175,11 +176,12 @@ type Coordinator struct {
 	core   *cluster.Core
 	nodes  []*nodeState
 	budget units.Power
-	// now is the coordinator's scheduling epoch: rounds × period. Nodes
-	// that miss rounds freeze behind it and catch up in wall-clock (not
-	// simulated) terms only; the budget ledger uses coordinator time.
-	now       float64
-	period    float64
+	// clock is the coordinator's scheduling epoch: rounds × period,
+	// advanced one period per RunRound (engine.SimClock replaces the old
+	// hand-rolled now/period accumulator). Nodes that miss rounds freeze
+	// behind it and catch up in wall-clock (not simulated) terms only; the
+	// budget ledger uses coordinator time.
+	clock     *engine.SimClock
 	quantum   float64
 	decisions []Decision
 }
@@ -219,7 +221,7 @@ func NewCoordinator(cfg Config, specs ...NodeSpec) (*Coordinator, error) {
 			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i))),
 		}
 	}
-	return &Coordinator{cfg: cfg, core: core, nodes: nodes, budget: cfg.Budget}, nil
+	return &Coordinator{cfg: cfg, core: core, nodes: nodes, budget: cfg.Budget, clock: engine.NewSimClock(0)}, nil
 }
 
 // Connect establishes every node's session. Initial connection is strict
@@ -231,7 +233,10 @@ func (c *Coordinator) Connect() error {
 			return err
 		}
 	}
-	c.period = float64(c.cfg.Fvsst.SchedulePeriods) * c.quantum
+	// The round period is only known once the nodes report their dispatch
+	// quantum; re-arm the epoch clock at the same (zero) time with the
+	// per-round advance.
+	c.clock = engine.NewSimClock(float64(c.cfg.Fvsst.SchedulePeriods) * c.quantum)
 	return nil
 }
 
@@ -246,7 +251,7 @@ func (c *Coordinator) Close() {
 }
 
 // Now returns the coordinator's scheduling epoch in seconds.
-func (c *Coordinator) Now() float64 { return c.now }
+func (c *Coordinator) Now() float64 { return c.clock.Now() }
 
 // Budget returns the current global budget.
 func (c *Coordinator) Budget() units.Power { return c.budget }
@@ -472,7 +477,7 @@ func (c *Coordinator) recordMiss(ns *nodeState, cause error) {
 		}
 		c.cfg.Sink.Emit(obs.Event{
 			Type:      obs.EventDegrade,
-			At:        c.now,
+			At:        c.clock.Now(),
 			Node:      ns.spec.Name,
 			ReservedW: c.worstCharge(ns).W(),
 			Detail:    detail,
@@ -492,7 +497,7 @@ func (c *Coordinator) recordAlive(ns *nodeState) {
 	if c.cfg.Sink != nil {
 		c.cfg.Sink.Emit(obs.Event{
 			Type:   obs.EventRejoin,
-			At:     c.now,
+			At:     c.clock.Now(),
 			Node:   ns.spec.Name,
 			Detail: "session re-established; capabilities re-synced",
 		})
@@ -520,7 +525,7 @@ func (c *Coordinator) RunRound() error {
 	}
 	trigger := "timer"
 	if c.cfg.Budgets != nil {
-		if want := c.cfg.Budgets.At(c.now); want != c.budget {
+		if want := c.cfg.Budgets.At(c.clock.Now()); want != c.budget {
 			c.budget = want
 			trigger = "budget-change"
 		}
@@ -651,7 +656,7 @@ func (c *Coordinator) RunRound() error {
 	}
 
 	dec := Decision{
-		At:          c.now,
+		At:          c.clock.Now(),
 		Trigger:     trigger,
 		Budget:      c.budget,
 		TablePower:  res.TablePower,
@@ -666,7 +671,7 @@ func (c *Coordinator) RunRound() error {
 	c.cfg.Metrics.setDegraded(degradedCount)
 	c.cfg.Metrics.setCharged(charged, reserved)
 	if c.cfg.Sink != nil {
-		ev := cluster.PassEvent(c.now, trigger, c.budget, inputs, res)
+		ev := cluster.PassEvent(c.clock.Now(), trigger, c.budget, inputs, res)
 		ev.ChargedW = charged.W()
 		ev.ReservedW = reserved.W()
 		ev.HeadroomW = (c.budget - charged).W()
@@ -674,19 +679,19 @@ func (c *Coordinator) RunRound() error {
 		c.cfg.Sink.Emit(ev)
 		c.cfg.Sink.Emit(obs.Event{
 			Type:      obs.EventQuantum,
-			At:        c.now,
+			At:        c.clock.Now(),
 			BudgetW:   c.budget.W(),
 			CPUPowerW: cpuPowerW,
 		})
 	}
 
-	c.now += c.period
+	c.clock.Tick()
 	return nil
 }
 
 // Run drives rounds until the coordinator epoch reaches t seconds.
 func (c *Coordinator) Run(until float64) error {
-	for c.now < until {
+	for c.clock.Now() < until {
 		if err := c.RunRound(); err != nil {
 			return err
 		}

@@ -111,6 +111,25 @@ func (t *Table) lookup(f units.Frequency) int {
 	return -1
 }
 
+// IndexOf returns the index of the exact table frequency f (ascending
+// order), or -1 when f is not an operating point. The index accessors
+// below turn the scheduling hot path's repeated by-frequency searches into
+// plain array indexing: resolve a frequency to its index once, then read
+// power/voltage/frequency by index.
+func (t *Table) IndexOf(f units.Frequency) int { return t.lookup(f) }
+
+// FrequencyAtIndex returns the i-th operating point's frequency. It
+// panics on an out-of-range index, like a slice.
+func (t *Table) FrequencyAtIndex(i int) units.Frequency { return t.points[i].F }
+
+// PowerAtIndex returns the i-th operating point's peak power. It panics
+// on an out-of-range index, like a slice.
+func (t *Table) PowerAtIndex(i int) units.Power { return t.points[i].P }
+
+// VoltageAtIndex returns the i-th operating point's minimum voltage. It
+// panics on an out-of-range index, like a slice.
+func (t *Table) VoltageAtIndex(i int) units.Voltage { return t.points[i].V }
+
 // PowerAt returns the peak power at exactly the table frequency f.
 func (t *Table) PowerAt(f units.Frequency) (units.Power, error) {
 	if i := t.lookup(f); i >= 0 {
