@@ -26,12 +26,14 @@ experiments:
 
 # Hot-path + harness benchmarks and their JSON artefacts: the steady-state
 # zero-alloc guarantees (Scheduler.Schedule, Machine.Step), the worker-pool
-# runner at 1 vs 4 workers, then BENCH_hotpath.json and per-experiment
-# wall-clock/allocation stats in BENCH_experiments.json.
+# runner at 1 vs 4 workers, then BENCH_hotpath.json, the farm allocator's
+# reallocation-pass cost + farm-powerfail wall-clock in BENCH_farm.json,
+# and per-experiment wall-clock/allocation stats in BENCH_experiments.json.
 bench:
 	$(GO) test -bench 'SchedulePass|MachineStep|RunAll' -benchmem \
 		./internal/fvsst/ ./internal/machine/ ./internal/experiments/
 	$(GO) run ./cmd/experiments hotpath
+	$(GO) run ./cmd/experiments farmbench
 	$(GO) run ./cmd/experiments -scale 0.05 -parallel 4 \
 		-bench-out BENCH_experiments.json all > /dev/null
 	@echo "(written to BENCH_experiments.json)"

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/farm"
+	"repro/internal/units"
+)
+
+// farmWorld builds a steady allocator scenario for the tick benchmark:
+// twelve clusters with ready-made demand curves, so one op is one full
+// Allocate pass (the per-cadence cost the farm layer adds on top of the
+// clusters' own scheduling).
+func farmWorld() (*farm.Allocator, []farm.Demand, error) {
+	const n = 12
+	members := make([]farm.Member, n)
+	demands := make([]farm.Demand, n)
+	for i := 0; i < n; i++ {
+		members[i] = farm.Member{Name: fmt.Sprintf("c%d", i), Floor: units.Watts(144)}
+		// A 16-step curve like the paper table: power descending from the
+		// desire toward the member floor, loss climbing as frequency falls.
+		var pts []farm.DemandPoint
+		step := (2240.0 - 144.0) / 15
+		for s := 0; s < 16; s++ {
+			pts = append(pts, farm.DemandPoint{
+				Power: units.Watts(2240 - float64(s)*step),
+				Loss:  float64(s) * (0.02 + 0.001*float64(i)),
+			})
+		}
+		demands[i] = farm.Demand{Curve: farm.DemandCurve{Points: pts}, Reachable: true}
+	}
+	a, err := farm.NewAllocator(farm.AllocatorConfig{
+		Source:   farm.Static(units.Watts(12000)),
+		Members:  members,
+		Periods:  10,
+		LeaseTTL: 0.3,
+		Safety:   0.06,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, demands, nil
+}
+
+// runFarmbench benchmarks the farm allocator pass and times the full
+// farm-powerfail study, writing BENCH_farm.json (or the -bench-out
+// override) in the same shape as BENCH_hotpath.json.
+func runFarmbench(outPath string) error {
+	if outPath == "" {
+		outPath = "BENCH_farm.json"
+	}
+	a, demands, err := farmWorld()
+	if err != nil {
+		return err
+	}
+
+	var results []hotpathResult
+	add := func(name string, r testing.BenchmarkResult) {
+		results = append(results, hotpathResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+
+	add("Allocator.Allocate/12-clusters", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// Advancing time each op keeps every pass a real reallocation
+			// (fresh leases) rather than a cache hit.
+			if _, err := a.Allocate(float64(i)*0.1, "timer", demands); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	start := time.Now()
+	if _, err := experiments.FarmPowerFail(experiments.TestOptions()); err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	results = append(results, hotpathResult{
+		Name:    "FarmPowerFail/test-scale-wall",
+		NsPerOp: float64(wall.Nanoseconds()),
+		N:       1,
+	})
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-32s %12.0f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("(written to %s)\n", outPath)
+	return nil
+}

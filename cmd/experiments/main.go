@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [flags] [list | all | hotpath | <id>...]
+//	experiments [flags] [list | all | hotpath | farmbench | <id>...]
 //
 // The experiment ids, their descriptions and the usage text all come from
 // the registry in internal/experiments (run `experiments list` to see
@@ -15,7 +15,8 @@
 // `-run <regex>` filters the selection by id. `-bench-out <file>` writes
 // per-experiment wall-clock and allocation stats as JSON. The `hotpath`
 // subcommand benchmarks the scheduler's steady-state hot path instead of
-// running experiments.
+// running experiments; `farmbench` does the same for the farm allocator's
+// reallocation pass plus the farm-powerfail study's wall-clock.
 package main
 
 import (
@@ -33,7 +34,7 @@ import (
 
 func usage() {
 	w := flag.CommandLine.Output()
-	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | <id>...]\n\nExperiments:\n")
+	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | <id>...]\n\nExperiments:\n")
 	for _, s := range experiments.Registry() {
 		fmt.Fprintf(w, "  %-12s %s\n", s.ID, s.Desc)
 	}
@@ -76,6 +77,12 @@ func main() {
 	case "hotpath":
 		if err := runHotpath(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "farmbench":
+		if err := runFarmbench(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "farmbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -10,6 +10,7 @@
 //	fvsst-cluster
 //	fvsst-cluster -nodes 3 -budget 900 -drop-to 600 -drop-at 1 \
 //	    -partition 1 -partition-at 0.5 -partition-for 2 -duration 4
+//	fvsst-cluster -budget-schedule "900,1:600,3:0.75kW"
 //	fvsst-cluster -trace out.jsonl -metrics out.prom -seed 7
 //
 // Times are simulated seconds. The run prints every scheduling decision
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/farm"
 	"repro/internal/fvsst"
 	"repro/internal/machine"
 	"repro/internal/netcluster"
@@ -43,6 +45,7 @@ import (
 type options struct {
 	nodes        int
 	budgetW      float64
+	scheduleSpec string
 	dropToW      float64
 	dropAt       float64
 	partition    int
@@ -185,7 +188,17 @@ func run(o options, out io.Writer) (result, error) {
 		Sink:       sink,
 		Metrics:    netcluster.NewMetrics(),
 	}
-	if o.dropToW > 0 && o.dropAt > 0 {
+	switch {
+	case o.scheduleSpec != "":
+		// The farm layer's budget-source plumbing: the spec becomes a
+		// farm.BudgetSource, the same interface hierarchical allocation
+		// feeds clusters through.
+		ccfg.Source, err = farm.ParseScheduleSpec(o.scheduleSpec)
+		if err != nil {
+			return res, fmt.Errorf("-budget-schedule: %w", err)
+		}
+		ccfg.Budget = ccfg.Source.BudgetAt(0)
+	case o.dropToW > 0 && o.dropAt > 0:
 		ccfg.Budgets, err = power.NewBudgetSchedule(units.Watts(o.budgetW),
 			power.BudgetEvent{At: o.dropAt, Budget: units.Watts(o.dropToW), Label: "budget drop"})
 		if err != nil {
@@ -292,6 +305,7 @@ func main() {
 	var o options
 	flag.IntVar(&o.nodes, "nodes", 3, "number of node agents to spawn")
 	flag.Float64Var(&o.budgetW, "budget", 900, "initial global CPU power budget (watts)")
+	flag.StringVar(&o.scheduleSpec, "budget-schedule", "", `budget schedule "W0,t1:W1,..." (overrides -budget/-drop-to/-drop-at)`)
 	flag.Float64Var(&o.dropToW, "drop-to", 600, "budget after the drop (watts, 0 = never drops)")
 	flag.Float64Var(&o.dropAt, "drop-at", 1, "simulated time of the budget drop (seconds, 0 = never)")
 	flag.IntVar(&o.partition, "partition", 1, "node index to partition (-1 = none)")

@@ -60,6 +60,45 @@ func TestAcceptanceScenario(t *testing.T) {
 	}
 }
 
+// TestBudgetScheduleFlag runs the same trajectory through the farm
+// budget-source plumbing: "-budget-schedule 900,1:600" must produce the
+// 900W → 600W ramp and shadow the legacy drop flags entirely.
+func TestBudgetScheduleFlag(t *testing.T) {
+	o := options{
+		nodes:        2,
+		budgetW:      450, // shadowed by the schedule's 900
+		scheduleSpec: "900,1:600",
+		dropToW:      300, // shadowed too
+		dropAt:       0.5,
+		partition:    -1,
+		duration:     2,
+		epsilon:      0.05,
+		scale:        0.5,
+		seed:         1,
+		missK:        3,
+		rpcTimeout:   40 * time.Millisecond,
+		lease:        800 * time.Millisecond,
+		logEvery:     5,
+	}
+	var out strings.Builder
+	res, err := run(o, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if res.violations != 0 {
+		t.Errorf("charged power exceeded the budget in %d rounds", res.violations)
+	}
+	first, last := res.decisions[0], res.decisions[len(res.decisions)-1]
+	if first.Budget.W() != 900 || last.Budget.W() != 600 {
+		t.Errorf("budget trajectory %v → %v, want the schedule's 900W → 600W", first.Budget, last.Budget)
+	}
+
+	o.scheduleSpec = "garbage"
+	if _, err := run(o, &strings.Builder{}); err == nil {
+		t.Error("invalid -budget-schedule accepted")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := run(options{nodes: 0}, &strings.Builder{}); err == nil {
 		t.Error("zero nodes accepted")

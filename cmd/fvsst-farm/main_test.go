@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestRunSmoke drives the farm study at test scale through the same path
+// main uses and checks the safety gates pass.
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	code, err := run(experiments.TestOptions(), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out.String(), "hierarchical") {
+		t.Errorf("output missing the hierarchical row:\n%s", out.String())
+	}
+}

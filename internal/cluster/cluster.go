@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/counters"
 	"repro/internal/engine"
+	"repro/internal/farm"
 	"repro/internal/fvsst"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -91,6 +92,10 @@ type Coordinator struct {
 	budget units.Power
 	// Budgets optionally drives the global budget over time.
 	Budgets *power.BudgetSchedule
+	// source, when set, overrides Budgets with a farm-layer budget source —
+	// a lease Holder under a farm allocator, a UPS runway governor, or a
+	// schedule adapter. Either way a change fires the budget-change trigger.
+	source farm.BudgetSource
 
 	pending   []pendingActuation
 	decisions []Decision
@@ -158,6 +163,12 @@ func (c *Coordinator) Nodes() []*Node { return c.nodes }
 // — the default — disables tracing.
 func (c *Coordinator) SetSink(sink obs.Sink) { c.sink = sink }
 
+// SetBudgetSource drives the global budget from a farm.BudgetSource
+// instead of the Budgets schedule (the source wins when both are set).
+// This is how a cluster plugs into the farm layer: hand it the farm.Holder
+// holding its lease and every grant or expiry becomes a budget-change pass.
+func (c *Coordinator) SetBudgetSource(src farm.BudgetSource) { c.source = src }
+
 // Now returns the cluster simulation time.
 func (c *Coordinator) Now() float64 { return c.loop.Now() }
 
@@ -188,12 +199,19 @@ func (c *Coordinator) procs() []ProcRef {
 // coordinator's collect/schedule protocol.
 func (c *Coordinator) Step() error {
 	// Budget change trigger.
-	if c.Budgets != nil {
-		if want := c.Budgets.At(c.loop.Now()); want != c.budget {
-			c.budget = want
-			if err := c.schedule("budget-change"); err != nil {
-				return err
-			}
+	var want units.Power
+	switch {
+	case c.source != nil:
+		want = c.source.BudgetAt(c.loop.Now())
+	case c.Budgets != nil:
+		want = c.Budgets.At(c.loop.Now())
+	default:
+		want = c.budget
+	}
+	if want != c.budget {
+		c.budget = want
+		if err := c.schedule("budget-change"); err != nil {
+			return err
 		}
 	}
 
@@ -263,9 +281,11 @@ func (c *Coordinator) observation(p ProcRef) (perfmodel.Observation, bool) {
 	return perfmodel.Observation{Delta: agg, Freq: units.Frequency(fHz)}, true
 }
 
-// schedule runs the shared global pass and dispatches RTT-delayed
-// actuations.
-func (c *Coordinator) schedule(trigger string) error {
+// buildInputs assembles the per-processor inputs a global pass sees: the
+// idle signal and the RTT-stale counter observations. Shared by schedule
+// and DemandCurve so the farm allocator prices exactly the state the next
+// pass would schedule from.
+func (c *Coordinator) buildInputs() ([]ProcRef, []ProcInput) {
 	procs := c.procs()
 	inputs := make([]ProcInput, len(procs))
 	for i, p := range procs {
@@ -279,6 +299,40 @@ func (c *Coordinator) schedule(trigger string) error {
 		}
 		inputs[i] = in
 	}
+	return procs, inputs
+}
+
+// DemandCurve exports the cluster's current budget→predicted-loss curve
+// for the farm allocator, priced from the same stale observations the
+// next scheduling pass would use.
+func (c *Coordinator) DemandCurve() (farm.DemandCurve, error) {
+	_, inputs := c.buildInputs()
+	return c.core.DemandCurve(inputs)
+}
+
+// UniformLoss predicts the aggregate loss of pinning every processor at
+// the given table index — the uniform-slowdown baseline.
+func (c *Coordinator) UniformLoss(fi int) (float64, error) {
+	_, inputs := c.buildInputs()
+	return c.core.UniformLoss(inputs, fi)
+}
+
+// FloorPower returns the aggregate table power with every processor at
+// the minimum setting — the cluster's farm lease floor.
+func (c *Coordinator) FloorPower() units.Power {
+	var sum units.Power
+	for _, n := range c.nodes {
+		for cpu := 0; cpu < n.M.NumCPUs(); cpu++ {
+			sum += c.cfg.Table.PowerAtIndex(0)
+		}
+	}
+	return sum
+}
+
+// schedule runs the shared global pass and dispatches RTT-delayed
+// actuations.
+func (c *Coordinator) schedule(trigger string) error {
+	procs, inputs := c.buildInputs()
 	res, err := c.core.Schedule(inputs, c.budget)
 	if err != nil {
 		return err
@@ -304,6 +358,15 @@ func (c *Coordinator) schedule(trigger string) error {
 		c.sink.Emit(PassEvent(c.loop.Now(), trigger, c.budget, inputs, res))
 	}
 	return nil
+}
+
+// LastDecision returns the most recent global pass, if any ran. The
+// assignments slice is shared with the log — callers must not mutate it.
+func (c *Coordinator) LastDecision() (Decision, bool) {
+	if len(c.decisions) == 0 {
+		return Decision{}, false
+	}
+	return c.decisions[len(c.decisions)-1], true
 }
 
 // Decisions returns the coordinator's decision log.

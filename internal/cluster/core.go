@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/farm"
 	"repro/internal/fvsst"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
@@ -69,15 +71,12 @@ func NewCore(cfg fvsst.Config) (*Core, error) {
 // Config returns the core's scheduler configuration.
 func (c *Core) Config() fvsst.Config { return c.cfg }
 
-// Schedule runs Steps 1–3 across the given processors under the budget.
-// Step 1 picks each processor's ε-constrained desire (minimum setting for
-// idle processors when the idle signal is enabled, f_max when no counter
-// data is available); Step 2 demotes least-loss processors until the
-// aggregate table power fits the budget; Step 3 assigns minimum voltages.
-// The returned Assignments and Demotions are freshly allocated (callers
-// retain them in decision logs); the intermediate per-frequency work runs
-// on the core's reusable scratch.
-func (c *Core) Schedule(inputs []ProcInput, budget units.Power) (PassResult, error) {
+// stepOne runs Step 1 onto the core's scratch: reset the prediction grid,
+// fill every observed processor's frequency sweep, and pick each
+// processor's desired index (minimum for idle, maximum for unobserved,
+// the ε-constrained setting otherwise). Shared by Schedule, DemandCurve
+// and UniformLoss.
+func (c *Core) stepOne(inputs []ProcInput) error {
 	n := len(inputs)
 	c.grid.Reset(n, c.set)
 	if cap(c.desiredIdx) < n {
@@ -99,20 +98,116 @@ func (c *Core) Schedule(inputs []ProcInput, budget units.Power) (PassResult, err
 		}
 		dec, err := c.pred.Decompose(*in.Obs)
 		if err != nil {
-			return PassResult{}, fmt.Errorf("cluster: %s cpu %d: %w", in.Node, in.Proc.CPU, err)
+			return fmt.Errorf("cluster: %s cpu %d: %w", in.Node, in.Proc.CPU, err)
 		}
 		c.grid.Fill(i, dec)
 		if c.cfg.UseIdealFrequency {
 			f, err := fvsst.IdealEpsilonFrequency(dec, c.set, c.cfg.Epsilon)
 			if err != nil {
-				return PassResult{}, err
+				return err
 			}
 			c.desiredIdx[i] = c.cfg.Table.IndexOf(f)
 		} else {
 			c.desiredIdx[i] = fvsst.EpsilonIndexGrid(&c.grid, i, c.cfg.Epsilon)
 		}
 	}
+	return nil
+}
 
+// DemandCurve exports this processor set's budget→predicted-loss
+// trade-off for the farm allocator: the first point is the Step-1
+// ε-constrained desire, each further point applies one more least-loss
+// Step-2 demotion (the same selection rule as fvsst.FitToBudgetGrid —
+// invalid rows count as zero loss, ties break toward the higher current
+// index), and the last point is the floor with every processor at the
+// table minimum. Only the grid rows a scheduling pass fills anyway are
+// evaluated, so the curve costs no extra prediction work.
+func (c *Core) DemandCurve(inputs []ProcInput) (farm.DemandCurve, error) {
+	if len(inputs) == 0 {
+		return farm.DemandCurve{}, fmt.Errorf("cluster: demand curve needs at least one processor")
+	}
+	if err := c.stepOne(inputs); err != nil {
+		return farm.DemandCurve{}, err
+	}
+	copy(c.actualIdx, c.desiredIdx)
+
+	var sumPower units.Power
+	var sumLoss float64
+	for i, idx := range c.actualIdx {
+		sumPower += c.cfg.Table.PowerAtIndex(idx)
+		if c.grid.Valid(i) {
+			sumLoss += c.grid.Loss(i, idx)
+		}
+	}
+	curve := farm.DemandCurve{Points: []farm.DemandPoint{{Power: sumPower, Loss: sumLoss}}}
+	for {
+		best := -1
+		bestLoss := math.Inf(1)
+		for i, idx := range c.actualIdx {
+			if idx == 0 {
+				continue // already at minimum
+			}
+			loss := 0.0
+			if c.grid.Valid(i) {
+				loss = c.grid.Loss(i, idx-1)
+			}
+			if loss < bestLoss || (loss == bestLoss && best >= 0 && idx > c.actualIdx[best]) {
+				best, bestLoss = i, loss
+			}
+		}
+		if best < 0 {
+			return curve, nil // every processor at the floor
+		}
+		idx := c.actualIdx[best]
+		sumPower -= c.cfg.Table.PowerAtIndex(idx) - c.cfg.Table.PowerAtIndex(idx-1)
+		if c.grid.Valid(best) {
+			sumLoss += c.grid.Loss(best, idx-1) - c.grid.Loss(best, idx)
+		}
+		c.actualIdx[best] = idx - 1
+		prev := curve.Points[len(curve.Points)-1]
+		p := farm.DemandPoint{Power: sumPower, Loss: sumLoss}
+		if p.Loss < prev.Loss {
+			p.Loss = prev.Loss // absorb float jitter; model loss is monotone in frequency
+		}
+		if p.Power < prev.Power {
+			curve.Points = append(curve.Points, p)
+		}
+	}
+}
+
+// UniformLoss predicts the aggregate performance loss of pinning every
+// processor at one table index — the uniform-slowdown baseline the farm
+// experiment compares against. Idle and unobserved processors contribute
+// zero, exactly as in the demand curve and Step 2.
+func (c *Core) UniformLoss(inputs []ProcInput, fi int) (float64, error) {
+	if fi < 0 || fi >= c.cfg.Table.Len() {
+		return 0, fmt.Errorf("cluster: uniform index %d outside table of %d points", fi, c.cfg.Table.Len())
+	}
+	if err := c.stepOne(inputs); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range inputs {
+		if c.grid.Valid(i) {
+			sum += c.grid.Loss(i, fi)
+		}
+	}
+	return sum, nil
+}
+
+// Schedule runs Steps 1–3 across the given processors under the budget.
+// Step 1 picks each processor's ε-constrained desire (minimum setting for
+// idle processors when the idle signal is enabled, f_max when no counter
+// data is available); Step 2 demotes least-loss processors until the
+// aggregate table power fits the budget; Step 3 assigns minimum voltages.
+// The returned Assignments and Demotions are freshly allocated (callers
+// retain them in decision logs); the intermediate per-frequency work runs
+// on the core's reusable scratch.
+func (c *Core) Schedule(inputs []ProcInput, budget units.Power) (PassResult, error) {
+	if err := c.stepOne(inputs); err != nil {
+		return PassResult{}, err
+	}
+	n := len(inputs)
 	copy(c.actualIdx, c.desiredIdx)
 	demotions, met := fvsst.FitToBudgetGrid(&c.grid, c.actualIdx, c.cfg.Table, budget, c.demo[:0])
 	c.demo = demotions[:0] // keep any grown backing array

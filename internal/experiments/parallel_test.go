@@ -9,12 +9,12 @@ import (
 // because every experiment derives all randomness from Options.Seed with
 // fixed offsets and shares no mutable state (see the RunAll doc for the
 // seeding convention). Table2 exercises the single-node path, cluster the
-// multi-node coordinator.
+// multi-node coordinator, farm-powerfail the hierarchical allocator.
 func TestRunAllParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster run too slow for -short")
 	}
-	ids := []string{"table2", "cluster"}
+	ids := []string{"table2", "cluster", "farm-powerfail"}
 	opts := TestOptions()
 
 	render := func(results []Result) []string {

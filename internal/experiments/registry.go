@@ -88,6 +88,9 @@ func Registry() []Spec {
 		{"farm", "Server farm: diurnal request load, power tracking demand", func(o Options) (Report, error) {
 			return report(ServerFarm(o))
 		}},
+		{"farm-powerfail", "Farm power-fail: supply failure onto UPS runway governor, hierarchical vs equal-split vs uniform", func(o Options) (Report, error) {
+			return report(FarmPowerFail(o))
+		}},
 	}
 }
 

@@ -1,0 +1,382 @@
+package farm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+// Member is one cluster under farm allocation: a name and the floor
+// budget it falls back to when its lease expires. The floor is also what
+// the allocator charges for a member it cannot reach once that member's
+// last lease has run out — until then the stale lease stays charged, the
+// netcluster worst-case-reservation rule one level up.
+type Member struct {
+	Name  string
+	Floor units.Power
+}
+
+// Demand is one member's refreshed state for a reallocation pass. An
+// unreachable member (partitioned away) contributes no curve; the
+// allocator keeps charging its outstanding lease, then its floor.
+type Demand struct {
+	Curve     DemandCurve
+	Reachable bool
+}
+
+// Allocation summarises one reallocation pass.
+type Allocation struct {
+	At      float64
+	Trigger string
+	// Budget is the source budget at the pass; Allocatable is what the
+	// allocator divided after the safety discount.
+	Budget      units.Power
+	Allocatable units.Power
+	// Charged is Σ(granted leases) + Σ(charges for unreachable members) —
+	// the total held against the budget, which must stay ≤ Budget.
+	Charged units.Power
+	// Met is false when even every member at its floor exceeds the
+	// allocatable budget (floors are still granted; the overshoot is the
+	// caller's to surface, exactly like Step 2's met=false).
+	Met bool
+	// Leases are the fresh grants, one per reachable member.
+	Leases []Lease
+}
+
+// Policy selects how Allocate divides the budget across members.
+type Policy string
+
+const (
+	// PolicyLeastLoss is the paper's Step-2 greedy lifted one level up:
+	// starting from every cluster's ε-constrained desire, repeatedly
+	// demote the cluster whose next demand-curve step down costs the
+	// least marginal predicted loss, until the total fits.
+	PolicyLeastLoss Policy = "least-loss"
+	// PolicyEqualSplit divides the allocatable budget equally across
+	// reachable members regardless of demand — the classic baseline the
+	// experiment compares against.
+	PolicyEqualSplit Policy = "equal-split"
+)
+
+// AllocatorConfig configures the farm allocator.
+type AllocatorConfig struct {
+	// Source yields the global budget over time.
+	Source BudgetSource
+	// Members are the clusters, in a fixed order that Demand slices and
+	// lease bookkeeping index.
+	Members []Member
+	// Periods is the engine.Cadence n: a reallocation pass is due every
+	// Periods Ticks (plus immediately whenever the source budget falls
+	// below the charged total — the paper's budget-change trigger).
+	Periods int
+	// LeaseTTL is the lifetime of each granted lease in seconds. It must
+	// cover at least one reallocation period or leases would expire
+	// between renewals.
+	LeaseTTL float64
+	// Safety is the fraction of the source budget held back when
+	// granting (allocatable = budget·(1−Safety)). Against a shrinking
+	// source it must cover the worst-case decay over a lease lifetime:
+	// the UPS runway governor decays at most by a factor e^(−TTL/runway)
+	// ≈ 1−TTL/runway between grant and expiry, so Safety ≥ TTL/runway
+	// keeps Σ(leased) ≤ budget continuously, not just at grant instants.
+	Safety float64
+	// Policy defaults to PolicyLeastLoss.
+	Policy Policy
+
+	Sink    obs.Sink
+	Metrics *Metrics
+}
+
+// Allocator divides a time-varying global budget across clusters by least
+// marginal predicted loss, issuing expiring leases. Drive it with one
+// Tick per dispatch quantum; when Tick reports a pass is due, gather
+// fresh demand curves and call Allocate. Not safe for concurrent use.
+type Allocator struct {
+	cfg     AllocatorConfig
+	cadence engine.Cadence
+
+	leases   []Lease
+	hasLease []bool
+
+	// scratch reused across Allocate calls.
+	pos       []int
+	reachable []bool
+}
+
+// NewAllocator validates the configuration and builds the allocator.
+func NewAllocator(cfg AllocatorConfig) (*Allocator, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("farm: allocator needs a budget source")
+	}
+	if len(cfg.Members) == 0 {
+		return nil, fmt.Errorf("farm: allocator needs at least one member")
+	}
+	seen := make(map[string]bool, len(cfg.Members))
+	for i, m := range cfg.Members {
+		if m.Name == "" {
+			return nil, fmt.Errorf("farm: member %d needs a name", i)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("farm: duplicate member %q", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Floor <= 0 {
+			return nil, fmt.Errorf("farm: member %s floor %v must be positive", m.Name, m.Floor)
+		}
+	}
+	if cfg.LeaseTTL <= 0 {
+		return nil, fmt.Errorf("farm: lease TTL %v must be positive", cfg.LeaseTTL)
+	}
+	if cfg.Safety < 0 || cfg.Safety >= 1 {
+		return nil, fmt.Errorf("farm: safety %v must be in [0,1)", cfg.Safety)
+	}
+	switch cfg.Policy {
+	case "":
+		cfg.Policy = PolicyLeastLoss
+	case PolicyLeastLoss, PolicyEqualSplit:
+	default:
+		return nil, fmt.Errorf("farm: unknown policy %q", cfg.Policy)
+	}
+	cadence, err := engine.NewCadence(cfg.Periods)
+	if err != nil {
+		return nil, err
+	}
+	n := len(cfg.Members)
+	return &Allocator{
+		cfg:       cfg,
+		cadence:   cadence,
+		leases:    make([]Lease, n),
+		hasLease:  make([]bool, n),
+		pos:       make([]int, n),
+		reachable: make([]bool, n),
+	}, nil
+}
+
+// Members returns the configured members.
+func (a *Allocator) Members() []Member { return a.cfg.Members }
+
+// charge is the power held against the budget for member i at now: its
+// outstanding lease while live, its floor after expiry (or before any
+// grant).
+func (a *Allocator) charge(i int, now float64) units.Power {
+	if a.hasLease[i] && now < a.leases[i].Expires {
+		return a.leases[i].Budget
+	}
+	return a.cfg.Members[i].Floor
+}
+
+// Charged returns Σ(outstanding leases, expired → floor) at now.
+func (a *Allocator) Charged(now float64) units.Power {
+	var sum units.Power
+	for i := range a.cfg.Members {
+		sum += a.charge(i, now)
+	}
+	return sum
+}
+
+// Tick advances the allocator's cadence one dispatch quantum and reports
+// whether a reallocation pass is due now, and why: "timer" on the cadence
+// edge, "budget-change" immediately whenever the source budget has fallen
+// below the charged total (a supply failure, or UPS decay outpacing the
+// safety margin). Callers then gather demand curves and call Allocate.
+func (a *Allocator) Tick(now float64) (trigger string, due bool) {
+	timerDue := a.cadence.Tick()
+	if a.cfg.Source.BudgetAt(now) < a.Charged(now) {
+		return "budget-change", true
+	}
+	if timerDue {
+		return "timer", true
+	}
+	return "", false
+}
+
+// Allocate runs one reallocation pass at now. demands must be indexed
+// like the configured members. Reachable members get fresh leases; an
+// unreachable member keeps its outstanding lease charged until TTL, then
+// its floor — so Σ(leased) ≤ budget holds through partitions without any
+// cooperation from the partitioned cluster.
+func (a *Allocator) Allocate(now float64, trigger string, demands []Demand) (Allocation, error) {
+	if len(demands) != len(a.cfg.Members) {
+		return Allocation{}, fmt.Errorf("farm: %d demands for %d members", len(demands), len(a.cfg.Members))
+	}
+	budget := a.cfg.Source.BudgetAt(now)
+	allocatable := units.Power(float64(budget) * (1 - a.cfg.Safety))
+
+	// Unreachable members are charged, not granted.
+	var unreachableCharge units.Power
+	for i, d := range demands {
+		a.reachable[i] = d.Reachable
+		if !d.Reachable {
+			unreachableCharge += a.charge(i, now)
+			continue
+		}
+		if err := d.Curve.Validate(); err != nil {
+			return Allocation{}, fmt.Errorf("farm: member %s: %w", a.cfg.Members[i].Name, err)
+		}
+		if d.Curve.Floor() < a.cfg.Members[i].Floor {
+			return Allocation{}, fmt.Errorf("farm: member %s demand floor %v below configured floor %v",
+				a.cfg.Members[i].Name, d.Curve.Floor(), a.cfg.Members[i].Floor)
+		}
+		a.pos[i] = 0
+	}
+	avail := allocatable - unreachableCharge
+
+	met := true
+	switch a.cfg.Policy {
+	case PolicyEqualSplit:
+		met = a.equalSplit(avail, demands)
+	default:
+		met = a.leastLoss(avail, demands)
+	}
+
+	// Issue the fresh leases and assemble the pass summary.
+	alloc := Allocation{
+		At:          now,
+		Trigger:     trigger,
+		Budget:      budget,
+		Allocatable: allocatable,
+		Met:         met,
+	}
+	for i, d := range demands {
+		if !d.Reachable {
+			continue
+		}
+		l := Lease{
+			Member:  a.cfg.Members[i].Name,
+			Budget:  d.Curve.Points[a.pos[i]].Power,
+			Granted: now,
+			Expires: now + a.cfg.LeaseTTL,
+		}
+		a.leases[i] = l
+		a.hasLease[i] = true
+		alloc.Leases = append(alloc.Leases, l)
+	}
+	alloc.Charged = a.Charged(now)
+	a.observe(&alloc, demands)
+	return alloc, nil
+}
+
+// leastLoss demotes members along their demand curves — always the member
+// whose next step down costs the least marginal predicted loss, ties
+// toward the larger power freed, then the lower member index — until the
+// reachable total fits avail. Returns false when every member is at its
+// curve floor and the total still exceeds avail.
+func (a *Allocator) leastLoss(avail units.Power, demands []Demand) bool {
+	for {
+		var sum units.Power
+		for i, d := range demands {
+			if d.Reachable {
+				sum += d.Curve.Points[a.pos[i]].Power
+			}
+		}
+		if sum <= avail {
+			return true
+		}
+		best := -1
+		bestLoss := math.Inf(1)
+		var bestFreed units.Power
+		for i, d := range demands {
+			if !d.Reachable || a.pos[i]+1 >= len(d.Curve.Points) {
+				continue // unreachable, or already at the curve floor
+			}
+			cur, next := d.Curve.Points[a.pos[i]], d.Curve.Points[a.pos[i]+1]
+			dLoss := next.Loss - cur.Loss
+			freed := cur.Power - next.Power
+			if dLoss < bestLoss || (dLoss == bestLoss && freed > bestFreed) {
+				best, bestLoss, bestFreed = i, dLoss, freed
+			}
+		}
+		if best < 0 {
+			return false // every member at its floor, budget still exceeded
+		}
+		a.pos[best]++
+	}
+}
+
+// equalSplit points each reachable member at the cheapest curve point
+// fitting an equal share of avail (never below its curve floor). Returns
+// false when a floor exceeds the share.
+func (a *Allocator) equalSplit(avail units.Power, demands []Demand) bool {
+	reachable := 0
+	for _, d := range demands {
+		if d.Reachable {
+			reachable++
+		}
+	}
+	if reachable == 0 {
+		return true
+	}
+	share := units.Power(float64(avail) / float64(reachable))
+	met := true
+	for i, d := range demands {
+		if !d.Reachable {
+			continue
+		}
+		a.pos[i] = len(d.Curve.Points) - 1
+		for pi, p := range d.Curve.Points {
+			if p.Power <= share {
+				a.pos[i] = pi
+				break
+			}
+		}
+		if d.Curve.Points[a.pos[i]].Power > share {
+			met = false // even the floor exceeds the share
+		}
+	}
+	return met
+}
+
+// observe emits the reallocation trace event and updates the gauges.
+func (a *Allocator) observe(alloc *Allocation, demands []Demand) {
+	a.cfg.Metrics.countRealloc(alloc.Trigger)
+	a.cfg.Metrics.setGlobal(alloc.Budget, alloc.Charged)
+	runway := math.Inf(1)
+	if rr, ok := a.cfg.Source.(RunwayReporter); ok {
+		runway = rr.RunwayAt(alloc.At, alloc.Charged)
+	}
+	if !math.IsInf(runway, 1) {
+		a.cfg.Metrics.setRunway(runway)
+	}
+	var clusters []obs.ClusterAlloc
+	for i, m := range a.cfg.Members {
+		charge := a.charge(i, alloc.At)
+		a.cfg.Metrics.setAllocated(m.Name, charge)
+		if a.cfg.Sink == nil {
+			continue
+		}
+		ca := obs.ClusterAlloc{
+			Cluster:     m.Name,
+			AllocatedW:  charge.W(),
+			FloorW:      m.Floor.W(),
+			Unreachable: !demands[i].Reachable,
+		}
+		if demands[i].Reachable {
+			ca.DesiredW = demands[i].Curve.Desired().W()
+			ca.PredictedLoss = demands[i].Curve.Points[a.pos[i]].Loss
+			ca.ExpiresAt = a.leases[i].Expires
+		} else if a.hasLease[i] {
+			ca.ExpiresAt = a.leases[i].Expires
+		}
+		clusters = append(clusters, ca)
+	}
+	if a.cfg.Sink == nil {
+		return
+	}
+	ev := obs.Event{
+		Type:         obs.EventRealloc,
+		At:           alloc.At,
+		Trigger:      alloc.Trigger,
+		BudgetW:      alloc.Budget.W(),
+		ChargedW:     alloc.Charged.W(),
+		HeadroomW:    (alloc.Budget - alloc.Charged).W(),
+		BudgetMissed: !alloc.Met,
+		Clusters:     clusters,
+	}
+	if !math.IsInf(runway, 1) {
+		ev.RunwaySeconds = runway
+	}
+	a.cfg.Sink.Emit(ev)
+}

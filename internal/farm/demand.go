@@ -1,0 +1,72 @@
+package farm
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// DemandPoint couples one aggregate power level a cluster could run at
+// with the aggregate predicted performance loss of the least-loss
+// assignment at that level.
+type DemandPoint struct {
+	Power units.Power
+	Loss  float64
+}
+
+// DemandCurve is a cluster's budget→loss trade-off, exported upward for
+// the farm allocator: Points[0] is the cluster's ε-constrained desire
+// (Step 1), each further point applies one more least-loss Step-2
+// demotion, and the last point is the floor with every processor at the
+// table minimum. Power is strictly decreasing and Loss non-decreasing
+// along the curve; levels are quantised to power.Table steps because each
+// point differs from its predecessor by exactly one processor demotion.
+// Clusters derive it from the perfmodel.PredGrid rows a scheduling pass
+// already fills, at zero extra prediction cost.
+type DemandCurve struct {
+	Points []DemandPoint
+}
+
+// Desired returns the power of the ε-constrained desire (the first point).
+func (c DemandCurve) Desired() units.Power { return c.Points[0].Power }
+
+// Floor returns the power of the all-minimum assignment (the last point).
+func (c DemandCurve) Floor() units.Power { return c.Points[len(c.Points)-1].Power }
+
+// Validate checks the curve's shape: non-empty, positive powers, strictly
+// decreasing power and non-decreasing loss from desire to floor.
+func (c DemandCurve) Validate() error {
+	if len(c.Points) == 0 {
+		return fmt.Errorf("farm: empty demand curve")
+	}
+	for i, p := range c.Points {
+		if p.Power <= 0 {
+			return fmt.Errorf("farm: demand point %d has non-positive power %v", i, p.Power)
+		}
+		if p.Loss < 0 {
+			return fmt.Errorf("farm: demand point %d has negative loss %v", i, p.Loss)
+		}
+		if i > 0 {
+			prev := c.Points[i-1]
+			if p.Power >= prev.Power {
+				return fmt.Errorf("farm: demand curve power not strictly decreasing at point %d (%v → %v)", i, prev.Power, p.Power)
+			}
+			if p.Loss < prev.Loss {
+				return fmt.Errorf("farm: demand curve loss decreasing at point %d (%v → %v)", i, prev.Loss, p.Loss)
+			}
+		}
+	}
+	return nil
+}
+
+// LossAt returns the predicted loss of the cheapest curve point fitting
+// the given budget, and ok=false when even the floor exceeds it (the loss
+// of the floor point is still returned — the cluster cannot go lower).
+func (c DemandCurve) LossAt(budget units.Power) (float64, bool) {
+	for _, p := range c.Points {
+		if p.Power <= budget {
+			return p.Loss, true
+		}
+	}
+	return c.Points[len(c.Points)-1].Loss, false
+}

@@ -1,0 +1,95 @@
+package farm
+
+import (
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+// Metrics instruments the farm layer: per-cluster allocated/used gauges,
+// the global budget and runway gauges, and reallocation/lease-expiry
+// counters. Like the netcluster metrics it aggregates into an
+// obs.Registry so it can share an exposition endpoint with the scheduling
+// metrics, and a nil *Metrics disables instrumentation the same way a nil
+// Sink disables tracing.
+type Metrics struct {
+	Registry *obs.Registry
+
+	allocated     *obs.GaugeVec // cluster
+	used          *obs.GaugeVec // cluster
+	globalBudget  *obs.Gauge
+	charged       *obs.Gauge
+	runway        *obs.Gauge
+	reallocs      *obs.CounterVec // trigger
+	leaseExpiries *obs.CounterVec // cluster
+}
+
+// NewMetrics builds the instrument set over a fresh registry.
+func NewMetrics() *Metrics { return NewMetricsInto(obs.NewRegistry()) }
+
+// NewMetricsInto builds the instrument set aggregating into r.
+func NewMetricsInto(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Registry: r,
+		allocated: r.Gauge("farm_cluster_allocated_watts",
+			"Budget leased to (or still charged for) each cluster after the last pass.", "cluster"),
+		used: r.Gauge("farm_cluster_used_watts",
+			"Actual aggregate processor power drawn by each cluster.", "cluster"),
+		globalBudget: r.Gauge("farm_budget_watts",
+			"Global budget from the active source at the last pass.").With(),
+		charged: r.Gauge("farm_charged_watts",
+			"Σ(leased budgets) held against the global budget after the last pass.").With(),
+		runway: r.Gauge("farm_runway_seconds",
+			"How long the budget source sustains the charged draw (+Inf omitted).").With(),
+		reallocs: r.Counter("farm_reallocations_total",
+			"Reallocation passes by trigger.", "trigger"),
+		leaseExpiries: r.Counter("farm_lease_expiries_total",
+			"Lease expiries that dropped a cluster to its floor budget.", "cluster"),
+	}
+}
+
+// nil-safe instrument helpers, mirroring the netcluster metrics pattern.
+
+func (m *Metrics) setAllocated(cluster string, p units.Power) {
+	if m == nil {
+		return
+	}
+	m.allocated.With(cluster).Set(p.W())
+}
+
+// SetUsed records a cluster's actual aggregate processor power; the
+// harness calls it per quantum alongside the allocator's own gauges.
+func (m *Metrics) SetUsed(cluster string, p units.Power) {
+	if m == nil {
+		return
+	}
+	m.used.With(cluster).Set(p.W())
+}
+
+func (m *Metrics) setGlobal(budget, charged units.Power) {
+	if m == nil {
+		return
+	}
+	m.globalBudget.Set(budget.W())
+	m.charged.Set(charged.W())
+}
+
+func (m *Metrics) setRunway(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.runway.Set(seconds)
+}
+
+func (m *Metrics) countRealloc(trigger string) {
+	if m == nil {
+		return
+	}
+	m.reallocs.With(trigger).Inc()
+}
+
+func (m *Metrics) countLeaseExpiry(cluster string) {
+	if m == nil {
+		return
+	}
+	m.leaseExpiries.With(cluster).Inc()
+}

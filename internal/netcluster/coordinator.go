@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/farm"
 	"repro/internal/fvsst"
 	"repro/internal/netcluster/proto"
 	"repro/internal/obs"
@@ -49,6 +50,11 @@ type Config struct {
 	// Budgets optionally drives the budget over time (supply failures,
 	// site capping).
 	Budgets *power.BudgetSchedule
+	// Source optionally drives the budget from a farm-layer budget source
+	// (a lease Holder, a UPS runway governor). It wins over Budgets when
+	// both are set, so farm plumbing can wrap an existing schedule via
+	// farm.FromSchedule without touching the older field.
+	Source farm.BudgetSource
 	// MissK is how many consecutive failed rounds mark a node degraded.
 	// Degraded or not, an unreachable node is always charged its
 	// worst-case-under-silence power; MissK only gates the degrade
@@ -524,11 +530,18 @@ func (c *Coordinator) RunRound() error {
 		}
 	}
 	trigger := "timer"
-	if c.cfg.Budgets != nil {
-		if want := c.cfg.Budgets.At(c.clock.Now()); want != c.budget {
-			c.budget = want
-			trigger = "budget-change"
-		}
+	var want units.Power
+	switch {
+	case c.cfg.Source != nil:
+		want = c.cfg.Source.BudgetAt(c.clock.Now())
+	case c.cfg.Budgets != nil:
+		want = c.cfg.Budgets.At(c.clock.Now())
+	default:
+		want = c.budget
+	}
+	if want != c.budget {
+		c.budget = want
+		trigger = "budget-change"
 	}
 
 	// Phase 1: parallel liveness + counter poll. Each goroutine owns its

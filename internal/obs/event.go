@@ -30,6 +30,13 @@ const (
 	// EventFailsafe marks a node agent's watchdog expiring: the agent
 	// dropped every CPU to its minimum frequency on its own.
 	EventFailsafe = "failsafe"
+	// EventRealloc is one farm-level reallocation pass: the datacenter
+	// allocator re-divided the global budget across its clusters.
+	EventRealloc = "realloc"
+	// EventLeaseExpire marks a cluster's budget lease running out without
+	// renewal: the cluster falls back to its floor budget on its own, the
+	// farm-level analogue of the node agent failsafe.
+	EventLeaseExpire = "lease-expire"
 )
 
 // Event is one structured trace record. A single flat type covers all
@@ -63,6 +70,25 @@ type Event struct {
 	ChargedW  float64 `json:"charged_w,omitempty"`
 	ReservedW float64 `json:"reserved_w,omitempty"`
 	Detail    string  `json:"detail,omitempty"`
+
+	// Farm fields (internal/farm). RunwaySeconds is how long the budget
+	// source can sustain the charged draw (the UPS runway); Clusters is the
+	// per-cluster allocation of a reallocation pass.
+	RunwaySeconds float64        `json:"runway_s,omitempty"`
+	Clusters      []ClusterAlloc `json:"clusters,omitempty"`
+}
+
+// ClusterAlloc is one cluster's slice of a farm reallocation: the budget
+// lease it was granted (or is still charged while unreachable), its floor,
+// the demand it asked for and the loss the allocator predicts at the grant.
+type ClusterAlloc struct {
+	Cluster       string  `json:"cluster"`
+	AllocatedW    float64 `json:"allocated_w"`
+	FloorW        float64 `json:"floor_w"`
+	DesiredW      float64 `json:"desired_w,omitempty"`
+	PredictedLoss float64 `json:"predicted_loss,omitempty"`
+	ExpiresAt     float64 `json:"expires,omitempty"`
+	Unreachable   bool    `json:"unreachable,omitempty"`
 }
 
 // CPUTrace is one processor's slice of a scheduling decision: the Step-1

@@ -98,8 +98,12 @@ func (p *Plant) FailSupply(name string) error {
 
 // RestoreSupply brings a failed supply back (the paper's "restoration of a
 // power supply" trigger). Restoring after a cascade does not revive the
-// plant: a cascade is terminal for the run.
+// plant: a cascade is terminal for the run, so the call is rejected rather
+// than silently un-failing a supply the cascade took down.
 func (p *Plant) RestoreSupply(name string) error {
+	if p.cascaded {
+		return fmt.Errorf("power: cannot restore supply %s: plant has cascaded (terminal)", name)
+	}
 	for _, s := range p.supplies {
 		if s.Name == name {
 			if !s.failed {

@@ -92,6 +92,32 @@ func TestCascadeScenario(t *testing.T) {
 	}
 }
 
+// TestRestoreAfterCascadeRejected pins the "cascade is terminal" rule:
+// RestoreSupply used to flip failed=false silently while cascaded stayed
+// true, leaving a plant that reported capacity it could not deliver.
+func TestRestoreAfterCascadeRejected(t *testing.T) {
+	p := MotivatingPlant(0.5)
+	if err := p.FailSupply("PS0"); err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(0, units.Watts(746))
+	if !p.Observe(1, units.Watts(746)) {
+		t.Fatal("no cascade after ΔT of overload")
+	}
+	if err := p.RestoreSupply("PS0"); err == nil {
+		t.Fatal("RestoreSupply succeeded after a cascade")
+	}
+	if err := p.RestoreSupply("PS1"); err == nil {
+		t.Fatal("RestoreSupply revived a cascade-failed supply")
+	}
+	if got := p.Capacity(); got != 0 {
+		t.Errorf("capacity after rejected restore = %v, want 0", got)
+	}
+	if !p.Cascaded() {
+		t.Error("plant no longer cascaded after rejected restore")
+	}
+}
+
 // TestCascadeAvertedByShedding shows that dropping the load under the
 // surviving capacity before ΔT prevents the cascade — the job fvsst exists
 // to do.
