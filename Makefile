@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race bench bench-paper experiments examples fuzz clean
+.PHONY: all check build test vet race bench bench-paper experiments examples fuzz soak cover clean
 
 # Default: the full pre-merge gate — compile, static checks, and the test
 # suite under the race detector (the obs registry is exercised concurrently).
@@ -49,11 +49,28 @@ examples:
 	$(GO) run ./examples/phases
 	$(GO) run ./examples/serverfarm
 
-# Short fuzz sessions over the parsers and the profile loader.
+# Short fuzz sessions over the parsers, the profile loader, the farm
+# budget-schedule parser, and the wire-frame decoder.
 fuzz:
 	$(GO) test -fuzz FuzzParseFrequency -fuzztime 30s ./internal/units/
 	$(GO) test -fuzz FuzzParsePower -fuzztime 30s ./internal/units/
 	$(GO) test -fuzz FuzzLoadProgram -fuzztime 30s ./internal/workload/
+	$(GO) test -fuzz FuzzParseScheduleSpec -fuzztime 30s ./internal/farm/
+	$(GO) test -fuzz FuzzRecvFrame -fuzztime 30s ./internal/netcluster/proto/
+
+# Randomized invariant soak: generated scenarios through the in-process
+# mirror, the differential (in-process vs networked) driver, and the farm
+# allocator, with every contract in docs/invariants.md checked each round.
+soak:
+	$(GO) run ./cmd/experiments soak -seeds 200 -diff 25 -farm 50 -parallel 4
+
+# Statement coverage for the invariant + scenario subsystems (the ISSUE 5
+# floor is 90% for both); coverage.out covers the whole repo for browsing
+# with `go tool cover -html=coverage.out`.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	@$(GO) test -cover ./internal/invariant/ ./internal/scenario/
 
 clean:
 	$(GO) clean ./...

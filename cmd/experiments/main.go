@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [flags] [list | all | hotpath | farmbench | <id>...]
+//	experiments [flags] [list | all | hotpath | farmbench | soak | <id>...]
 //
 // The experiment ids, their descriptions and the usage text all come from
 // the registry in internal/experiments (run `experiments list` to see
@@ -34,7 +34,7 @@ import (
 
 func usage() {
 	w := flag.CommandLine.Output()
-	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | <id>...]\n\nExperiments:\n")
+	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | soak | <id>...]\n\nExperiments:\n")
 	for _, s := range experiments.Registry() {
 		fmt.Fprintf(w, "  %-12s %s\n", s.ID, s.Desc)
 	}
@@ -83,6 +83,12 @@ func main() {
 	case "farmbench":
 		if err := runFarmbench(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "farmbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "soak":
+		if err := runSoak(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+// runSoak drives the invariant soak harness: N random cluster scenarios
+// through the in-process mirror and the full invariant suite (each run
+// twice and byte-compared for determinism), M differential scenarios
+// through both the in-process and networked stacks, and K farm-layer
+// scenarios through the allocator contract checks. Exits nonzero on any
+// violation, divergence or error; failing cluster seeds are shrunk to a
+// minimal reproducer printed with the report.
+func runSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	seeds := fs.Int("seeds", 25, "cluster invariant scenarios to run")
+	diff := fs.Int("diff", 5, "differential (in-process vs networked) scenarios to run")
+	farm := fs.Int("farm", 10, "farm-layer scenarios to run")
+	baseSeed := fs.Int64("seed", 1, "first seed of every range")
+	parallel := fs.Int("parallel", 4, "worker-pool size")
+	wall := fs.Duration("wall", 0, "wall-clock budget; jobs not started in time are marked skipped (0 = unbounded)")
+	sabotage := fs.String("sabotage", "", "inject a deliberate defect into cluster runs (step2-invert); the checkers must catch it")
+	shrink := fs.Int("shrink", 400, "max candidate runs when shrinking a failing cluster seed (0 = off)")
+	jsonOut := fs.String("json", "", "write the full report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep := scenario.Soak(scenario.SoakConfig{
+		Seeds:     *seeds,
+		DiffSeeds: *diff,
+		FarmSeeds: *farm,
+		BaseSeed:  *baseSeed,
+		Parallel:  *parallel,
+		Wall:      *wall,
+		Sabotage:  *sabotage,
+		ShrinkMax: *shrink,
+	})
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("soak: %d cluster + %d diff + %d farm scenarios in %.1fs (parallel=%d)\n",
+		*seeds, *diff, *farm, rep.ElapsedSec, *parallel)
+	for _, r := range rep.Results {
+		if r.Skipped {
+			fmt.Printf("  %-7s seed %-6d SKIPPED (wall budget)\n", r.Kind, r.Seed)
+			continue
+		}
+		if r.Err != "" {
+			fmt.Printf("  %-7s seed %-6d ERROR: %s\n", r.Kind, r.Seed, r.Err)
+			continue
+		}
+		if len(r.Violations) == 0 && len(r.Divergences) == 0 {
+			continue
+		}
+		fmt.Printf("  %-7s seed %-6d %d violation(s), %d divergence(s)\n",
+			r.Kind, r.Seed, len(r.Violations), len(r.Divergences))
+		for i, v := range r.Violations {
+			if i == 3 {
+				fmt.Printf("    ... %d more\n", len(r.Violations)-i)
+				break
+			}
+			fmt.Printf("    [%s] t=%.3f %s\n", v.Checker, v.At, v.Detail)
+		}
+		for i, d := range r.Divergences {
+			if i == 3 {
+				fmt.Printf("    ... %d more\n", len(r.Divergences)-i)
+				break
+			}
+			fmt.Printf("    divergence r=%d: %s\n", d.Round, d.Detail)
+		}
+		if r.Shrunk != nil {
+			data, _ := json.Marshal(r.Shrunk)
+			fmt.Printf("    minimal reproducer (%d shrink runs): %s\n", r.ShrinkAttempts, data)
+		}
+	}
+	if rep.Skipped > 0 {
+		fmt.Printf("  %d job(s) skipped by the -wall budget\n", rep.Skipped)
+	}
+	if !rep.OK {
+		return fmt.Errorf("%d violation(s), %d divergence(s), %d error(s)", rep.Violations, rep.Divergences, rep.Errors)
+	}
+	fmt.Println("soak: all invariants held")
+	return nil
+}

@@ -1,0 +1,125 @@
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/farm"
+	"repro/internal/units"
+)
+
+// Ledger is a transport-level budget-accounting snapshot: one
+// netcluster.Decision (or the in-process mirror's equivalent) reduced to
+// the values the conservation contract constrains. Live is the table
+// power charged for reachable, acknowledged nodes; Reserved is the
+// worst-case charge held for silent or degraded nodes.
+type Ledger struct {
+	At       float64
+	Budget   units.Power
+	Live     units.Power
+	Reserved units.Power
+	Charged  units.Power
+	Met      bool
+	// AllLiveAtFloor reports whether every live CPU sits at the table
+	// floor — the only state in which a missed budget is legal.
+	AllLiveAtFloor bool
+}
+
+// CheckLedger checks the networked coordinator's charge accounting (§5,
+// PR 2): charged must decompose into live + reserved, the met verdict
+// must be exactly "charged fits the budget", and a missed budget is only
+// legal when the live side has already been demoted to the floor (the
+// reserve for silent nodes can exceed any budget; the coordinator may
+// not overdraw for reachable ones).
+func CheckLedger(l Ledger) []Violation {
+	var out []Violation
+	if math.Abs(l.Charged.W()-(l.Live.W()+l.Reserved.W())) > powerTol {
+		out = append(out, Violation{"cluster-ledger", l.At,
+			fmt.Sprintf("charged %v ≠ live %v + reserved %v", l.Charged, l.Live, l.Reserved)})
+	}
+	if l.Met != (l.Charged <= l.Budget) {
+		out = append(out, Violation{"cluster-ledger", l.At,
+			fmt.Sprintf("met=%v but charged %v vs budget %v", l.Met, l.Charged, l.Budget)})
+	}
+	if !l.Met && !l.AllLiveAtFloor {
+		out = append(out, Violation{"cluster-ledger", l.At,
+			fmt.Sprintf("budget missed (charged %v > %v) with live CPUs above the floor", l.Charged, l.Budget)})
+	}
+	return out
+}
+
+// CheckAllocation checks one farm reallocation pass (PR 4): the safety
+// discount is honoured, the charged total decomposes correctly, a met
+// pass fits the budget, and every fresh lease is granted now, expires
+// later, and never dips below its member's floor.
+func CheckAllocation(members []farm.Member, alloc farm.Allocation) []Violation {
+	var out []Violation
+	floors := make(map[string]units.Power, len(members))
+	for _, m := range members {
+		floors[m.Name] = m.Floor
+	}
+	if alloc.Allocatable > alloc.Budget+powerTol {
+		out = append(out, Violation{"farm-allocation", alloc.At,
+			fmt.Sprintf("allocatable %v exceeds budget %v: safety discount lost", alloc.Allocatable, alloc.Budget)})
+	}
+	if alloc.Met && alloc.Charged > alloc.Budget+powerTol {
+		out = append(out, Violation{"farm-allocation", alloc.At,
+			fmt.Sprintf("met=true but charged %v exceeds budget %v", alloc.Charged, alloc.Budget)})
+	}
+	for _, l := range alloc.Leases {
+		floor, known := floors[l.Member]
+		if !known {
+			out = append(out, Violation{"farm-allocation", alloc.At,
+				fmt.Sprintf("lease for unknown member %q", l.Member)})
+			continue
+		}
+		if l.Budget < floor-powerTol {
+			out = append(out, Violation{"farm-allocation", alloc.At,
+				fmt.Sprintf("member %s leased %v below its floor %v", l.Member, l.Budget, floor)})
+		}
+		if l.Granted != alloc.At {
+			out = append(out, Violation{"farm-allocation", alloc.At,
+				fmt.Sprintf("member %s lease granted at %g, pass ran at %g", l.Member, l.Granted, alloc.At)})
+		}
+		if l.Expires <= l.Granted {
+			out = append(out, Violation{"farm-allocation", alloc.At,
+				fmt.Sprintf("member %s lease expires at %g, not after grant %g", l.Member, l.Expires, l.Granted)})
+		}
+	}
+	return out
+}
+
+// CheckFarmCharge checks continuous farm budget conservation between
+// passes: Σ(charged leases, stale leases, floors) must track under the
+// source budget at every quantum, including through partitions and UPS
+// decay (the Safety ≥ TTL/runway contract). Call it every quantum with
+// the instantaneous source budget and allocator.Charged(now).
+func CheckFarmCharge(at float64, budget, charged units.Power) []Violation {
+	if charged <= budget+powerTol {
+		return nil
+	}
+	return []Violation{{"farm-conservation", at,
+		fmt.Sprintf("charged %v exceeds source budget %v", charged, budget)}}
+}
+
+// CheckHolder checks cluster-side lease floor safety (PR 4): a holder's
+// effective budget equals its live lease, and after expiry it falls back
+// to exactly its floor — never below, never to zero, so a partitioned
+// cluster always retains a survivable budget.
+func CheckHolder(at float64, h *farm.Holder) []Violation {
+	var out []Violation
+	b := h.BudgetAt(at)
+	if b < h.Floor()-powerTol {
+		out = append(out, Violation{"lease-floor-safety", at,
+			fmt.Sprintf("holder %s budget %v below floor %v", h.Name(), b, h.Floor())})
+	}
+	if l, ok := h.Lease(); ok && !h.Expired(at) && b != l.Budget {
+		out = append(out, Violation{"lease-floor-safety", at,
+			fmt.Sprintf("holder %s live lease %v but effective budget %v", h.Name(), l.Budget, b)})
+	}
+	if h.Expired(at) && b != h.Floor() {
+		out = append(out, Violation{"lease-floor-safety", at,
+			fmt.Sprintf("holder %s expired but budget %v ≠ floor %v", h.Name(), b, h.Floor())})
+	}
+	return out
+}

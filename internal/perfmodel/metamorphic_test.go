@@ -1,0 +1,126 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/memhier"
+	"repro/internal/units"
+)
+
+// metamorphicFreqs is a five-point sweep with the observation at f_max.
+var metamorphicFreqs = units.FrequencySet{
+	units.MHz(600), units.MHz(800), units.MHz(1000), units.MHz(1200), units.MHz(1400),
+}
+
+func metaObs(memRefs uint64) Observation {
+	return Observation{
+		Delta: counters.Delta{
+			Window:       0.02,
+			Instructions: 2_000_000,
+			Cycles:       3_000_000,
+			L2Refs:       6 * memRefs,
+			L3Refs:       2 * memRefs,
+			MemRefs:      memRefs,
+		},
+		Freq: metamorphicFreqs[len(metamorphicFreqs)-1],
+	}
+}
+
+// TestMetamorphicMemoryScaling checks the model's structural response to
+// making a workload more memory-bound while holding the observed CPI
+// fixed: scaling every memory delta by k grows the stall share, so at
+// every frequency below the observation point IPC must not fall and
+// PerfLoss must not rise (memory-bound work gets cheaper to slow down),
+// both monotonically in k.
+func TestMetamorphicMemoryScaling(t *testing.T) {
+	pred, err := New(memhier.P630())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grids []PredGrid
+	for _, memRefs := range []uint64{200, 500, 1100, 2400} {
+		d, err := pred.Decompose(metaObs(memRefs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.InvAlpha <= 1/MaxAlpha {
+			t.Fatalf("memRefs=%d hits the InvAlpha clamp; pick gentler deltas", memRefs)
+		}
+		var g PredGrid
+		g.Reset(1, metamorphicFreqs)
+		g.Fill(0, d)
+		grids = append(grids, g)
+	}
+	nf := len(metamorphicFreqs)
+	for k := 1; k < len(grids); k++ {
+		prev, cur := &grids[k-1], &grids[k]
+		for fi := 0; fi < nf; fi++ {
+			if cur.IPC(0, fi) < prev.IPC(0, fi)-1e-12 {
+				t.Errorf("step %d: IPC(%v) fell %g → %g as memory share grew",
+					k, metamorphicFreqs[fi], prev.IPC(0, fi), cur.IPC(0, fi))
+			}
+			if cur.Loss(0, fi) > prev.Loss(0, fi)+1e-12 {
+				t.Errorf("step %d: PerfLoss(%v) rose %g → %g as memory share grew",
+					k, metamorphicFreqs[fi], prev.Loss(0, fi), cur.Loss(0, fi))
+			}
+		}
+		// Observed CPI is held fixed, so IPC at the observation frequency
+		// must be invariant under the scaling.
+		if math.Abs(cur.IPC(0, nf-1)-prev.IPC(0, nf-1)) > 1e-12 {
+			t.Errorf("step %d: IPC at the observation point moved", k)
+		}
+	}
+}
+
+// TestZeroMemoryDeltas checks the pure-CPU limit: with no memory traffic
+// the stall term vanishes, IPC is the same at every frequency, and
+// PerfLoss collapses to exactly 1 − f/f_max.
+func TestZeroMemoryDeltas(t *testing.T) {
+	pred, err := New(memhier.P630())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Observation{
+		Delta: counters.Delta{Window: 0.02, Instructions: 2_000_000, Cycles: 3_000_000},
+		Freq:  metamorphicFreqs[len(metamorphicFreqs)-1],
+	}
+	d, err := pred.Decompose(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.StallSecPerInstr != 0 {
+		t.Fatalf("zero memory deltas decomposed to stall %g", d.StallSecPerInstr)
+	}
+	var g PredGrid
+	g.Reset(1, metamorphicFreqs)
+	g.Fill(0, d)
+	fmax := metamorphicFreqs[len(metamorphicFreqs)-1]
+	for fi, f := range metamorphicFreqs {
+		if math.Abs(g.IPC(0, fi)-g.IPC(0, len(metamorphicFreqs)-1)) > 1e-12 {
+			t.Errorf("pure-CPU IPC varies with frequency at %v", f)
+		}
+		want := 1 - f.Hz()/fmax.Hz()
+		if math.Abs(g.Loss(0, fi)-want) > 1e-12 {
+			t.Errorf("pure-CPU PerfLoss(%v) = %g, want 1−f/f_max = %g", f, g.Loss(0, fi), want)
+		}
+	}
+}
+
+// TestGridZeroPerfReference pins the pMax==0 guard: a degenerate
+// decomposition with no achievable performance fills a zero-loss row
+// instead of dividing by zero.
+func TestGridZeroPerfReference(t *testing.T) {
+	var g PredGrid
+	g.Reset(1, metamorphicFreqs)
+	g.Fill(0, Decomposition{InvAlpha: math.Inf(1), StallSecPerInstr: 0})
+	for fi := range metamorphicFreqs {
+		if g.Loss(0, fi) != 0 {
+			t.Fatalf("zero-perf reference produced loss %g, want the guarded 0", g.Loss(0, fi))
+		}
+		if g.IPC(0, fi) != 0 {
+			t.Fatalf("IPC against infinite CPI = %g, want 0", g.IPC(0, fi))
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence is one round whose traces differ outside every declared
+// fault window.
+type Divergence struct {
+	Round  int    `json:"round"`
+	Detail string `json:"detail"`
+}
+
+// DiffResult is one differential run: the same scenario through the
+// in-process mirror and the networked stack, compared round by round.
+type DiffResult struct {
+	Spec   Spec       `json:"spec"`
+	InProc *RunResult `json:"in_proc"`
+	Net    *RunResult `json:"net"`
+	// FaultRounds counts rounds inside declared fault windows, where the
+	// traces are allowed (not required) to differ.
+	FaultRounds int `json:"fault_rounds"`
+	// InWindowDiffs counts rounds that differed inside fault windows.
+	InWindowDiffs int `json:"in_window_diffs"`
+	// Divergences are rounds that differed OUTSIDE every fault window —
+	// each one a real equivalence violation.
+	Divergences []Divergence `json:"divergences,omitempty"`
+	// Equivalent reports no out-of-window divergence.
+	Equivalent bool `json:"equivalent"`
+}
+
+// RunDifferential runs the same scenario through cluster.Core in-process
+// and through netcluster over loopback+faultnet and compares the decision
+// traces round by round. Outside declared fault windows the rendered
+// rounds must match byte for byte; inside them (partition windows, plus
+// everything after a message-fault policy starts, since a dropped counter
+// response skews the remote machine's simulated time permanently)
+// differences are recorded but allowed. The UPS is stripped on both
+// sides — the transport does not model battery drain.
+func RunDifferential(spec Spec, opt NetOptions) (*DiffResult, error) {
+	spec = spec.WithoutUPS()
+	inproc, err := RunCluster(spec, Options{})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: in-process run: %w", err)
+	}
+	netRun, err := RunNet(spec, opt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: networked run: %w", err)
+	}
+	d := &DiffResult{Spec: spec, InProc: inproc, Net: netRun}
+	for r := 0; r < spec.Rounds; r++ {
+		inWindow := spec.faultAffected(r)
+		if inWindow {
+			d.FaultRounds++
+		}
+		a, b := renderOne(inproc.Trace, r), renderOne(netRun.Trace, r)
+		if a == b {
+			continue
+		}
+		if inWindow {
+			d.InWindowDiffs++
+			continue
+		}
+		d.Divergences = append(d.Divergences, Divergence{Round: r, Detail: firstDiff(a, b)})
+	}
+	d.Equivalent = len(d.Divergences) == 0
+	return d, nil
+}
+
+func renderOne(trace []RoundTrace, r int) string {
+	if r >= len(trace) {
+		return fmt.Sprintf("r=%d <missing>\n", r)
+	}
+	var b strings.Builder
+	trace[r].render(&b)
+	return b.String()
+}
+
+// firstDiff returns the first differing line pair, "in-proc | net".
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x != y {
+			return fmt.Sprintf("in-proc %q vs net %q", strings.TrimSpace(x), strings.TrimSpace(y))
+		}
+	}
+	return "traces differ"
+}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDifferentialFaultFree runs ≥20 fault-free seeds through both the
+// in-process mirror and the networked stack and demands byte-identical
+// decision traces: same budgets, same table power, same per-CPU
+// frequencies and voltages, rendered through the same format strings.
+func TestDifferentialFaultFree(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		spec := Generate(seed).FaultFree()
+		d, err := RunDifferential(spec, NetOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !d.Equivalent {
+			t.Fatalf("seed %d diverged: %+v", seed, d.Divergences[0])
+		}
+		if d.FaultRounds != 0 || d.InWindowDiffs != 0 {
+			t.Fatalf("seed %d: fault rounds on a fault-free spec", seed)
+		}
+		if d.InProc.Text != d.Net.Text {
+			t.Fatalf("seed %d: equivalent but full texts differ", seed)
+		}
+		if len(d.InProc.Violations) != 0 || len(d.Net.Violations) != 0 {
+			t.Fatalf("seed %d: invariant violations during differential", seed)
+		}
+	}
+}
+
+// TestDifferentialFaulty feeds scenarios that do carry faults through the
+// differential: traces may differ inside the declared windows (message
+// faults skew remote timing) but never outside them.
+func TestDifferentialFaulty(t *testing.T) {
+	tested := 0
+	for seed := int64(1); seed <= 30 && tested < 6; seed++ {
+		spec := Generate(seed)
+		if len(spec.Partitions) == 0 && len(spec.Policies) == 0 {
+			continue
+		}
+		tested++
+		d, err := RunDifferential(spec, NetOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !d.Equivalent {
+			t.Errorf("seed %d: out-of-window divergence: %+v", seed, d.Divergences[0])
+		}
+		if d.FaultRounds == 0 {
+			t.Errorf("seed %d: faulty spec declared no fault rounds", seed)
+		}
+	}
+	if tested < 6 {
+		t.Fatalf("only %d faulty seeds in 1..30", tested)
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	if got := firstDiff("a\nb\n", "a\nc\n"); !strings.Contains(got, `"b"`) || !strings.Contains(got, `"c"`) {
+		t.Fatalf("firstDiff = %q", got)
+	}
+	if got := firstDiff("x", "x"); got != "traces differ" {
+		t.Fatalf("identical-input fallback = %q", got)
+	}
+}
+
+// TestSoakClean runs a small clean campaign of all three job kinds.
+func TestSoakClean(t *testing.T) {
+	rep := Soak(SoakConfig{Seeds: 4, DiffSeeds: 2, FarmSeeds: 3, Parallel: 4, ShrinkMax: 50})
+	if !rep.OK {
+		t.Fatalf("clean soak failed: %+v", rep)
+	}
+	if len(rep.Results) != 9 {
+		t.Fatalf("got %d results, want 9", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Skipped || r.Err != "" {
+			t.Fatalf("unexpected skip/error: %+v", r)
+		}
+	}
+	// The report order is deterministic regardless of worker count.
+	seq := Soak(SoakConfig{Seeds: 4, DiffSeeds: 2, FarmSeeds: 3, Parallel: 1, ShrinkMax: 50})
+	for i := range rep.Results {
+		if rep.Results[i].Hash != seq.Results[i].Hash || rep.Results[i].Seed != seq.Results[i].Seed {
+			t.Fatalf("result %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestSoakSabotage verifies the campaign catches the injected Step-2
+// defect and ships a minimal reproducer in the report.
+func TestSoakSabotage(t *testing.T) {
+	rep := Soak(SoakConfig{Seeds: 8, Parallel: 4, Sabotage: SabotageStepTwoInvert, ShrinkMax: 200})
+	if rep.OK {
+		t.Fatal("sabotaged soak reported OK")
+	}
+	shrunk := false
+	for _, r := range rep.Results {
+		if len(r.Violations) > 0 && r.Shrunk != nil {
+			shrunk = true
+			if r.Shrunk.Seed != r.Seed {
+				t.Fatal("reproducer seed differs from job seed")
+			}
+			if r.ShrinkAttempts == 0 {
+				t.Fatal("reproducer claims zero shrink attempts")
+			}
+		}
+	}
+	if !shrunk {
+		t.Fatal("no failing seed carried a shrunk reproducer")
+	}
+}
+
+func TestSoakWallBudget(t *testing.T) {
+	rep := Soak(SoakConfig{Seeds: 5, FarmSeeds: 5, Parallel: 2, Wall: time.Nanosecond})
+	if rep.Skipped != len(rep.Results) {
+		t.Fatalf("expired wall budget skipped %d/%d jobs", rep.Skipped, len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !r.Skipped {
+			t.Fatalf("job ran past the deadline: %+v", r)
+		}
+	}
+	// Skipping is reported, never silently treated as failure.
+	if !rep.OK {
+		t.Fatal("skipped jobs flagged the campaign as failed")
+	}
+}

@@ -1,0 +1,442 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/engine"
+	"repro/internal/fvsst"
+	"repro/internal/invariant"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// MissK is the consecutive-miss threshold at which a node is marked
+// degraded, shared by the in-process mirror and the netcluster driver so
+// their degrade/rejoin edges coincide.
+const MissK = 2
+
+// SabotageStepTwoInvert replaces Step 2 with a copy whose loss comparison
+// is inverted — the deliberate bug the acceptance criteria plant to prove
+// the checkers catch it. The production algorithm is untouched; the
+// sabotage runs as a post-pass rewrite inside this package only.
+const SabotageStepTwoInvert = "step2-invert"
+
+// Options tunes a driver run.
+type Options struct {
+	// Sabotage optionally plants a known bug ("" or SabotageStepTwoInvert).
+	Sabotage string
+	// Checkers overrides the pass-level checker set (nil → the default
+	// suite). Ledger checks always run.
+	Checkers []invariant.Checker
+}
+
+func (o Options) suite() *invariant.Suite {
+	if o.Checkers == nil {
+		return invariant.DefaultSuite()
+	}
+	return invariant.NewSuite(o.Checkers...)
+}
+
+// ProcTrace is one CPU's slice of a round trace.
+type ProcTrace struct {
+	Node       string  `json:"node"`
+	CPU        int     `json:"cpu"`
+	Idle       bool    `json:"idle"`
+	DesiredMHz float64 `json:"desired_mhz"`
+	ActualMHz  float64 `json:"actual_mhz"`
+	VoltageV   float64 `json:"voltage_v"`
+}
+
+// RoundTrace is the canonical record of one scheduling round, identical
+// in shape for the in-process mirror and the networked coordinator so
+// the differential harness can compare them line by line.
+type RoundTrace struct {
+	Round     int         `json:"round"`
+	At        float64     `json:"at"`
+	Trigger   string      `json:"trigger"`
+	BudgetW   float64     `json:"budget_w"`
+	LiveW     float64     `json:"live_w"`
+	ReservedW float64     `json:"reserved_w"`
+	ChargedW  float64     `json:"charged_w"`
+	Met       bool        `json:"met"`
+	Degraded  []string    `json:"degraded,omitempty"`
+	Procs     []ProcTrace `json:"procs"`
+}
+
+// render writes the round as deterministic text lines. %v on float64
+// uses Go's shortest-exact formatting, so equal traces render equal text
+// and differing bits always show.
+func (r RoundTrace) render(b *strings.Builder) {
+	fmt.Fprintf(b, "r=%d t=%v trig=%s budget=%v live=%v reserved=%v charged=%v met=%v deg=%s\n",
+		r.Round, r.At, r.Trigger, r.BudgetW, r.LiveW, r.ReservedW, r.ChargedW, r.Met,
+		strings.Join(r.Degraded, ","))
+	for _, p := range r.Procs {
+		fmt.Fprintf(b, "  %s/cpu%d idle=%v des=%v act=%v v=%v\n",
+			p.Node, p.CPU, p.Idle, p.DesiredMHz, p.ActualMHz, p.VoltageV)
+	}
+}
+
+// RunResult is one driver run: the canonical trace, its hash, and every
+// invariant violation the checkers found.
+type RunResult struct {
+	Rounds     int                   `json:"rounds"`
+	Trace      []RoundTrace          `json:"-"`
+	Text       string                `json:"-"`
+	Hash       string                `json:"hash"`
+	Violations []invariant.Violation `json:"violations,omitempty"`
+}
+
+func finishResult(res *RunResult, suite *invariant.Suite) {
+	var b strings.Builder
+	for _, r := range res.Trace {
+		r.render(&b)
+	}
+	res.Text = b.String()
+	sum := sha256.Sum256([]byte(res.Text))
+	res.Hash = hex.EncodeToString(sum[:8])
+	res.Violations = suite.Violations()
+}
+
+// nodeRun is one node's live state inside the in-process driver.
+type nodeRun struct {
+	name      string
+	m         *machine.Machine
+	sampler   *counters.Sampler
+	missed    int
+	degraded  bool
+	lastFreqs []units.Frequency
+}
+
+// RunCluster runs the scenario through cluster.Core in-process,
+// mirroring the networked coordinator's round semantics exactly: the
+// same budget trigger, the same counter windows, the same reserved
+// worst-case charge for partitioned nodes, the same ledger — so its
+// trace is directly comparable with RunNet's. Every pass and every
+// round ledger runs under the invariant checkers.
+func RunCluster(spec Spec, opt Options) (*RunResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Sabotage != "" && opt.Sabotage != SabotageStepTwoInvert {
+		return nil, fmt.Errorf("scenario: unknown sabotage %q", opt.Sabotage)
+	}
+	fcfg, err := spec.fvsstConfig()
+	if err != nil {
+		return nil, err
+	}
+	core, err := cluster.NewCore(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	source, ups, err := spec.source()
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*nodeRun, len(spec.Nodes))
+	for i := range spec.Nodes {
+		m, err := spec.newMachine(i)
+		if err != nil {
+			return nil, err
+		}
+		sampler, err := counters.NewSampler(m, 256)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = &nodeRun{
+			name:    fmt.Sprintf("n%d", i),
+			m:       m,
+			sampler: sampler,
+		}
+	}
+	table := fcfg.Table
+	period := float64(spec.SchedulePeriods) * quantum
+	clock := engine.NewSimClock(period)
+	budget := source.BudgetAt(0)
+	suite := opt.suite()
+	res := &RunResult{Rounds: spec.Rounds}
+
+	for round := 0; round < spec.Rounds; round++ {
+		now := clock.Now()
+		trigger := "timer"
+		if want := source.BudgetAt(now); want != budget {
+			budget = want
+			trigger = "budget-change"
+		}
+
+		// Phase 1: poll. Partitioned nodes freeze (their machine does not
+		// advance), exactly as a failed counter RPC leaves the remote
+		// machine untouched.
+		live := make([]bool, len(nodes))
+		var inputs []cluster.ProcInput
+		nodeInputs := make([][]int, len(nodes))
+		var reserved units.Power
+		for i, n := range nodes {
+			if spec.partitioned(i, round) {
+				n.missed++
+				if n.missed >= MissK {
+					n.degraded = true
+				}
+				reserved += worstCharge(n, table)
+				continue
+			}
+			live[i] = true
+			for q := 0; q < spec.SchedulePeriods; q++ {
+				n.m.Step()
+				if err := n.sampler.Collect(); err != nil {
+					return nil, fmt.Errorf("scenario: %s collect: %w", n.name, err)
+				}
+			}
+			for cpu := 0; cpu < n.m.NumCPUs(); cpu++ {
+				// Round-trip the delta through the wire report so both
+				// drivers feed the predictor byte-identical observations.
+				rep := reportFor(n.sampler.WindowAggregate(cpu, spec.SchedulePeriods), n.m.IsIdle(cpu))
+				in := cluster.ProcInput{
+					Proc: cluster.ProcRef{Node: i, CPU: cpu},
+					Node: n.name,
+					Idle: rep.idle,
+				}
+				delta := rep.delta
+				if fHz := delta.ObservedFrequencyHz(); delta.Instructions > 0 && delta.Cycles > 0 && fHz > 0 {
+					in.Obs = &perfmodel.Observation{Delta: delta, Freq: units.Frequency(fHz)}
+				}
+				nodeInputs[i] = append(nodeInputs[i], len(inputs))
+				inputs = append(inputs, in)
+			}
+		}
+
+		// Phase 2: the shared global pass under the live budget.
+		liveBudget := budget - reserved
+		pass, err := core.Schedule(inputs, liveBudget)
+		if err != nil {
+			return nil, err
+		}
+		if opt.Sabotage == SabotageStepTwoInvert {
+			if err := sabotageStepTwoInvert(fcfg, inputs, &pass, liveBudget); err != nil {
+				return nil, err
+			}
+		}
+
+		// Phase 3: actuate the live nodes.
+		for i, n := range nodes {
+			if !live[i] {
+				continue
+			}
+			freqs := make([]units.Frequency, len(nodeInputs[i]))
+			for cpu, idx := range nodeInputs[i] {
+				freqs[cpu] = pass.Assignments[idx].Actual
+				if err := n.m.SetFrequency(cpu, freqs[cpu]); err != nil {
+					return nil, err
+				}
+			}
+			n.lastFreqs = freqs
+			n.missed = 0
+			n.degraded = false
+		}
+
+		// Phase 4: the ledger, charged exactly as the coordinator does.
+		var charged, liveCharged units.Power
+		reserved = 0
+		var degraded []string
+		allLiveFloor := true
+		for i, n := range nodes {
+			if live[i] {
+				var sum units.Power
+				for _, idx := range nodeInputs[i] {
+					p, err := table.PowerAt(pass.Assignments[idx].Actual)
+					if err != nil {
+						return nil, err
+					}
+					sum += p
+					if table.IndexOf(pass.Assignments[idx].Actual) != 0 {
+						allLiveFloor = false
+					}
+				}
+				charged += sum
+				liveCharged += sum
+				continue
+			}
+			w := worstCharge(n, table)
+			charged += w
+			reserved += w
+			if n.degraded {
+				degraded = append(degraded, n.name)
+			}
+		}
+
+		// Invariants: the pass itself, then the round ledger.
+		if p, err := passSnapshot(fcfg, now, liveBudget, inputs, pass); err != nil {
+			return nil, err
+		} else {
+			suite.Check(p)
+		}
+		suite.Report(invariant.CheckLedger(invariant.Ledger{
+			At:             now,
+			Budget:         budget,
+			Live:           liveCharged,
+			Reserved:       reserved,
+			Charged:        charged,
+			Met:            charged <= budget,
+			AllLiveAtFloor: allLiveFloor,
+		})...)
+
+		// LiveW renders pass.TablePower (not the per-node regrouped sum):
+		// both drivers compute it through the same flat accumulation in
+		// core.Schedule, so the traces stay bit-comparable.
+		res.Trace = append(res.Trace, roundTrace(round, now, trigger, budget, pass.TablePower, reserved, charged, degraded, inputs, pass))
+
+		if ups != nil {
+			if err := ups.Drain(charged, period); err != nil {
+				return nil, err
+			}
+		}
+		clock.Tick()
+	}
+	finishResult(res, suite)
+	return res, nil
+}
+
+// roundTrace renders the canonical per-round record from pass outputs.
+func roundTrace(round int, at float64, trigger string, budget, live, reserved, charged units.Power, degraded []string, inputs []cluster.ProcInput, pass cluster.PassResult) RoundTrace {
+	rt := RoundTrace{
+		Round:     round,
+		At:        at,
+		Trigger:   trigger,
+		BudgetW:   budget.W(),
+		LiveW:     live.W(),
+		ReservedW: reserved.W(),
+		ChargedW:  charged.W(),
+		Met:       charged <= budget,
+		Degraded:  degraded,
+	}
+	for k, a := range pass.Assignments {
+		rt.Procs = append(rt.Procs, ProcTrace{
+			Node:       inputs[k].Node,
+			CPU:        a.Proc.CPU,
+			Idle:       a.Idle,
+			DesiredMHz: a.Desired.MHz(),
+			ActualMHz:  a.Actual.MHz(),
+			VoltageV:   a.Voltage.V(),
+		})
+	}
+	return rt
+}
+
+// passSnapshot converts a pass into the invariant checkers' shape.
+func passSnapshot(cfg fvsst.Config, at float64, budget units.Power, inputs []cluster.ProcInput, pass cluster.PassResult) (*invariant.Pass, error) {
+	procs := make([]invariant.Proc, len(inputs))
+	for k, in := range inputs {
+		a := pass.Assignments[k]
+		procs[k] = invariant.Proc{
+			Node:       in.Node,
+			CPU:        in.Proc.CPU,
+			Idle:       in.Idle,
+			Obs:        in.Obs,
+			DesiredIdx: cfg.Table.IndexOf(a.Desired),
+			ActualIdx:  cfg.Table.IndexOf(a.Actual),
+			Voltage:    a.Voltage,
+		}
+	}
+	return invariant.NewPass(cfg, at, budget, procs, pass.Demotions, pass.TablePower, pass.BudgetMet)
+}
+
+// worstCharge mirrors the coordinator's silence charge: the table power
+// of the node's last acknowledged actuation, else every CPU at the table
+// maximum.
+func worstCharge(n *nodeRun, table *power.Table) units.Power {
+	if n.lastFreqs != nil {
+		if p, err := fvsst.TotalTablePower(n.lastFreqs, table); err == nil {
+			return p
+		}
+	}
+	return units.Power(float64(n.m.NumCPUs())) * table.PowerAtIndex(table.Len()-1)
+}
+
+// report is the in-process stand-in for a wire counter report.
+type report struct {
+	delta counters.Delta
+	idle  bool
+}
+
+// reportFor mirrors proto.ReportFor∘Delta: the wire report carries the
+// delta fields losslessly (uint64 and float64 survive JSON round-trips
+// bit-exactly in Go), so the identity conversion is faithful.
+func reportFor(d counters.Delta, idle bool) report {
+	return report{delta: d, idle: idle}
+}
+
+// sabotageStepTwoInvert re-runs Step 2 with the loss comparison
+// inverted — a copy of fvsst.FitToBudgetGrid's loop with `<` flipped to
+// `>` against a +Inf sentinel, the classic polarity bug. The rewrite
+// leaves desired frequencies in place (the broken loop never finds a
+// victim), recomputes the assignment fields, and drops the demotion log,
+// exactly as the production path would present such a bug.
+func sabotageStepTwoInvert(cfg fvsst.Config, inputs []cluster.ProcInput, pass *cluster.PassResult, budget units.Power) error {
+	pred, err := perfmodel.New(cfg.Hier)
+	if err != nil {
+		return err
+	}
+	var grid perfmodel.PredGrid
+	grid.Reset(len(inputs), cfg.Table.Frequencies())
+	for i, in := range inputs {
+		if (cfg.UseIdleSignal && in.Idle) || in.Obs == nil {
+			continue
+		}
+		d, err := pred.Decompose(*in.Obs)
+		if err != nil {
+			return err
+		}
+		grid.Fill(i, d)
+	}
+	idx := make([]int, len(inputs))
+	for i, a := range pass.Assignments {
+		idx[i] = cfg.Table.IndexOf(a.Desired)
+	}
+	met := false
+	for {
+		var sum units.Power
+		for i := range idx {
+			sum += cfg.Table.PowerAtIndex(idx[i])
+		}
+		if sum <= budget {
+			met = true
+			break
+		}
+		best, bestLoss := -1, math.Inf(1)
+		for i := range idx {
+			if idx[i] == 0 {
+				continue
+			}
+			loss := 0.0
+			if grid.Valid(i) {
+				loss = grid.Loss(i, idx[i]-1)
+			}
+			// The planted bug: inverted comparison never beats +Inf, so no
+			// CPU is ever demoted.
+			if loss > bestLoss || (loss == bestLoss && best >= 0 && idx[i] > idx[best]) {
+				best, bestLoss = i, loss
+			}
+		}
+		if best < 0 {
+			break
+		}
+		idx[best]--
+	}
+	pass.Demotions = nil
+	pass.BudgetMet = met
+	var total units.Power
+	for i := range pass.Assignments {
+		pass.Assignments[i].Actual = cfg.Table.FrequencyAtIndex(idx[i])
+		pass.Assignments[i].Voltage = cfg.Table.VoltageAtIndex(idx[i])
+		total += cfg.Table.PowerAtIndex(idx[i])
+	}
+	pass.TablePower = total
+	return nil
+}

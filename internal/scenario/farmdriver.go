@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/farm"
+	"repro/internal/invariant"
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// FarmMember is one cluster in a farm scenario.
+type FarmMember struct {
+	Name   string  `json:"name"`
+	FloorW float64 `json:"floor_w"`
+}
+
+// FarmEvent rewrites the grid budget at a time (grid mode only).
+type FarmEvent struct {
+	AtSec float64 `json:"at_sec"`
+	Watts float64 `json:"watts"`
+}
+
+// FarmSpec is one farm-layer scenario: members, a partition window, and
+// a budget trajectory that respects the allocator's documented contract
+// (discrete drops only while every member is reachable; a continuously
+// shrinking source only through the UPS runway governor with
+// Safety ≥ TTL/runway). Violating those preconditions makes conservation
+// physically unsatisfiable, so the generator never does — the checkers
+// verify the allocator holds the contract it promises, not one it
+// doesn't.
+type FarmSpec struct {
+	Seed        int64        `json:"seed"`
+	Members     []FarmMember `json:"members"`
+	Partitioned []bool       `json:"partitioned,omitempty"`
+	PStartSec   float64      `json:"p_start_sec"`
+	PEndSec     float64      `json:"p_end_sec"`
+	UseUPS      bool         `json:"use_ups"`
+	GridW       float64      `json:"grid_w"`
+	Events      []FarmEvent  `json:"events,omitempty"`
+	CapacityJ   float64      `json:"capacity_j,omitempty"`
+	RunwaySec   float64      `json:"runway_sec,omitempty"`
+	FailAtSec   float64      `json:"fail_at_sec,omitempty"`
+	Steps       int          `json:"steps"`
+}
+
+// Farm scenario cadence, matching the farm package's own property tests.
+const (
+	farmDT      = 0.05
+	farmTTL     = 0.3
+	farmSafety  = 0.15
+	farmPeriods = 2
+	farmRunway  = 3.0
+)
+
+// GenerateFarm draws a random farm scenario from the seed.
+func GenerateFarm(seed int64) FarmSpec {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(4)
+	s := FarmSpec{
+		Seed:        seed,
+		Partitioned: make([]bool, n),
+		PStartSec:   1.2,
+		PEndSec:     2.0,
+		UseUPS:      rng.Intn(2) == 1,
+		FailAtSec:   0.4,
+		RunwaySec:   farmRunway,
+		Steps:       60 + rng.Intn(41),
+	}
+	var floors float64
+	for i := 0; i < n; i++ {
+		f := round1(5 + rng.Float64()*10)
+		s.Members = append(s.Members, FarmMember{Name: fmt.Sprintf("c%d", i), FloorW: f})
+		floors += f
+	}
+	for i := range s.Partitioned {
+		s.Partitioned[i] = rng.Float64() < 0.4
+	}
+	s.Partitioned[rng.Intn(n)] = false // keep one member reachable
+
+	// Budgets stay above Σfloors/(1−Safety): below that the floors
+	// themselves overrun and Met=false is the (legal) report.
+	minBudget := floors / (1 - farmSafety) * 1.05
+	horizon := float64(s.Steps) * farmDT
+	if s.UseUPS {
+		s.GridW = round1(minBudget * (3 + rng.Float64()*3))
+		// Sized so the governor's decay over the whole post-fail horizon
+		// still ends above minBudget.
+		s.CapacityJ = round1(minBudget * 5 * farmRunway)
+		return s
+	}
+	s.GridW = round1(minBudget * (1.2 + rng.Float64()*4.8))
+	for i, k := 0, rng.Intn(4); i < k; i++ {
+		at := rng.Float64() * horizon
+		if at >= s.PStartSec-farmDT && at < s.PEndSec {
+			at = s.PEndSec + rng.Float64()*maxFloat(0, horizon-s.PEndSec)
+		}
+		s.Events = append(s.Events, FarmEvent{
+			AtSec: at,
+			Watts: round1(minBudget * (1.2 + rng.Float64()*4.8)),
+		})
+	}
+	return s
+}
+
+func (s FarmSpec) reachable(i int, now float64) bool {
+	return !(s.Partitioned[i] && now >= s.PStartSec && now < s.PEndSec)
+}
+
+func (s FarmSpec) allReachable(now float64) bool {
+	for i := range s.Members {
+		if !s.reachable(i, now) {
+			return false
+		}
+	}
+	return true
+}
+
+// randomFarmCurve draws a demand curve whose floor is exactly the member
+// floor: strictly decreasing power, non-decreasing loss.
+func randomFarmCurve(rng *rand.Rand, floor units.Power) farm.DemandCurve {
+	steps := 2 + rng.Intn(8)
+	powers := make([]units.Power, steps)
+	losses := make([]float64, steps)
+	powers[0] = floor
+	losses[0] = 0.2 + rng.Float64()*0.7
+	for i := 1; i < steps; i++ {
+		powers[i] = powers[i-1] + units.Watts(1+rng.Float64()*30)
+		losses[i] = losses[i-1] * rng.Float64() * 0.9
+	}
+	var c farm.DemandCurve
+	for i := steps - 1; i >= 0; i-- {
+		c.Points = append(c.Points, farm.DemandPoint{Power: powers[i], Loss: losses[i]})
+	}
+	return c
+}
+
+// RunFarm drives one farm scenario under the invariant checks: every
+// reallocation pass through CheckAllocation, and at every quantum the
+// continuous conservation check (Σ charged ≤ source budget, through the
+// partition window and UPS decay) plus every holder's lease-floor
+// safety. The returned Text fingerprints every pass for determinism
+// checking.
+func RunFarm(spec FarmSpec) (*RunResult, error) {
+	if len(spec.Members) == 0 || spec.Steps <= 0 {
+		return nil, fmt.Errorf("scenario: empty farm spec")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed*31 + 7)) // demand-curve draws
+
+	var src farm.BudgetSource
+	var ups *farm.UPS
+	if spec.UseUPS {
+		var err error
+		ups, err = farm.NewUPS(units.Joules(spec.CapacityJ), spec.RunwaySec)
+		if err != nil {
+			return nil, err
+		}
+		src = farm.Failover{At: spec.FailAtSec, Before: farm.Static(units.Watts(spec.GridW)), After: ups}
+	} else {
+		var events []power.BudgetEvent
+		for _, e := range spec.Events {
+			events = append(events, power.BudgetEvent{At: e.AtSec, Budget: units.Watts(e.Watts)})
+		}
+		sched, err := power.NewBudgetSchedule(units.Watts(spec.GridW), events...)
+		if err != nil {
+			return nil, err
+		}
+		if src, err = farm.FromSchedule(sched); err != nil {
+			return nil, err
+		}
+	}
+
+	members := make([]farm.Member, len(spec.Members))
+	holders := make([]*farm.Holder, len(spec.Members))
+	for i, m := range spec.Members {
+		members[i] = farm.Member{Name: m.Name, Floor: units.Watts(m.FloorW)}
+		h, err := farm.NewHolder(m.Name, units.Watts(m.FloorW), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		holders[i] = h
+	}
+	alloc, err := farm.NewAllocator(farm.AllocatorConfig{
+		Source:   src,
+		Members:  members,
+		Periods:  farmPeriods,
+		LeaseTTL: farmTTL,
+		Safety:   farmSafety,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	suite := invariant.NewSuite()
+	var fp strings.Builder
+	pass := func(now float64, trigger string) error {
+		demands := make([]farm.Demand, len(members))
+		for i, m := range members {
+			if spec.reachable(i, now) {
+				demands[i] = farm.Demand{Curve: randomFarmCurve(rng, m.Floor), Reachable: true}
+			}
+		}
+		a, err := alloc.Allocate(now, trigger, demands)
+		if err != nil {
+			return err
+		}
+		suite.Report(invariant.CheckAllocation(members, a)...)
+		if spec.allReachable(now) && !a.Met {
+			suite.Report(invariant.Violation{Checker: "farm-allocation", At: now,
+				Detail: fmt.Sprintf("met=false with every member reachable and budget %v above the floor minimum", a.Budget)})
+		}
+		for _, l := range a.Leases {
+			for i, m := range members {
+				if m.Name == l.Member {
+					holders[i].Grant(l)
+				}
+			}
+		}
+		fmt.Fprintf(&fp, "%.2f %s %.6f", now, trigger, a.Charged.W())
+		for _, l := range a.Leases {
+			fmt.Fprintf(&fp, " %s=%.6f", l.Member, l.Budget.W())
+		}
+		fp.WriteByte('\n')
+		return nil
+	}
+
+	if err := pass(0, "initial"); err != nil {
+		return nil, err
+	}
+	for step := 1; step <= spec.Steps; step++ {
+		now := float64(step) * farmDT
+		prev := now - farmDT
+		if ups != nil && prev >= spec.FailAtSec {
+			if err := ups.Drain(alloc.Charged(prev), farmDT); err != nil {
+				return nil, err
+			}
+		}
+		if trig, due := alloc.Tick(now); due {
+			if err := pass(now, trig); err != nil {
+				return nil, err
+			}
+		}
+		suite.Report(invariant.CheckFarmCharge(now, src.BudgetAt(now), alloc.Charged(now))...)
+		for _, h := range holders {
+			suite.Report(invariant.CheckHolder(now, h)...)
+		}
+	}
+
+	res := &RunResult{Rounds: spec.Steps, Text: fp.String()}
+	sum := sha256.Sum256([]byte(res.Text))
+	res.Hash = hex.EncodeToString(sum[:8])
+	res.Violations = suite.Violations()
+	return res, nil
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/invariant"
+	"repro/internal/machine"
+	"repro/internal/netcluster"
+	"repro/internal/netcluster/faultnet"
+)
+
+// NetOptions tunes the loopback netcluster driver.
+type NetOptions struct {
+	// RPCTimeout bounds each RPC attempt; a partitioned node costs about
+	// one timeout per round. Default 150 ms.
+	RPCTimeout time.Duration
+}
+
+// RunNet runs the scenario through the real networked stack: one TCP
+// agent per node on loopback, connected through a seeded faultnet that
+// applies the spec's partitions and message-fault policies at round
+// boundaries, driven by the production netcluster.Coordinator. The
+// returned trace has the same canonical shape as RunCluster's; every
+// round's ledger runs under the invariant checks.
+//
+// The networked driver does not model UPS drain (the coordinator samples
+// a budget source; nothing in the transport integrates battery energy),
+// so specs with a UPS must be stripped with WithoutUPS first.
+func RunNet(spec Spec, opt NetOptions) (*RunResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.UPS != nil {
+		return nil, fmt.Errorf("scenario: networked driver does not model UPS drain; use Spec.WithoutUPS")
+	}
+	if opt.RPCTimeout == 0 {
+		opt.RPCTimeout = 150 * time.Millisecond
+	}
+	fcfg, err := spec.fvsstConfig()
+	if err != nil {
+		return nil, err
+	}
+	source, _, err := spec.source()
+	if err != nil {
+		return nil, err
+	}
+
+	net := faultnet.New(spec.Seed)
+	agents := make([]*netcluster.Agent, len(spec.Nodes))
+	machines := make([]*machine.Machine, len(spec.Nodes))
+	specs := make([]netcluster.NodeSpec, len(spec.Nodes))
+	defer func() {
+		for _, a := range agents {
+			if a != nil {
+				a.Close()
+			}
+		}
+	}()
+	for i := range spec.Nodes {
+		m, err := spec.newMachine(i)
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = m
+		name := fmt.Sprintf("n%d", i)
+		// FailsafeLease stays off: the agent watchdog would floor CPUs
+		// mid-partition and the healed node would re-report from a state
+		// the budget ledger (which charges the last acknowledged
+		// actuation) deliberately does not track.
+		a, err := netcluster.NewAgent(netcluster.AgentConfig{Name: name, M: m})
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Start(); err != nil {
+			return nil, err
+		}
+		agents[i] = a
+		specs[i] = netcluster.NodeSpec{Name: name, Addr: a.Addr()}
+	}
+
+	coord, err := netcluster.NewCoordinator(netcluster.Config{
+		Name:        "scenario",
+		Fvsst:       fcfg,
+		Budget:      source.BudgetAt(0),
+		Source:      source,
+		MissK:       MissK,
+		RPCTimeout:  opt.RPCTimeout,
+		Retries:     1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		Seed:        spec.Seed,
+		Dialer:      net,
+	}, specs...)
+	if err != nil {
+		return nil, err
+	}
+	if err := coord.Connect(); err != nil {
+		return nil, err
+	}
+	defer coord.Close()
+
+	for round := 0; round < spec.Rounds; round++ {
+		for i := range spec.Nodes {
+			name := fmt.Sprintf("n%d", i)
+			if spec.partitioned(i, round) {
+				net.Partition(name)
+			} else {
+				net.Heal(name)
+			}
+			if err := net.SetPolicy(name, policyAt(spec, i, round)); err != nil {
+				return nil, err
+			}
+		}
+		if err := coord.RunRound(); err != nil {
+			return nil, err
+		}
+	}
+
+	suite := invariant.NewSuite()
+	res := &RunResult{Rounds: spec.Rounds}
+	floor := fcfg.Table.FrequencyAtIndex(0)
+	for round, dec := range coord.Decisions() {
+		rt := RoundTrace{
+			Round:     round,
+			At:        dec.At,
+			Trigger:   dec.Trigger,
+			BudgetW:   dec.Budget.W(),
+			LiveW:     dec.TablePower.W(),
+			ReservedW: dec.Reserved.W(),
+			ChargedW:  dec.Charged.W(),
+			Met:       dec.BudgetMet,
+			Degraded:  dec.Degraded,
+		}
+		allAtFloor := true
+		for _, a := range dec.Assignments {
+			if a.Actual != floor {
+				allAtFloor = false
+			}
+			rt.Procs = append(rt.Procs, ProcTrace{
+				Node:       fmt.Sprintf("n%d", a.Proc.Node),
+				CPU:        a.Proc.CPU,
+				Idle:       a.Idle,
+				DesiredMHz: a.Desired.MHz(),
+				ActualMHz:  a.Actual.MHz(),
+				VoltageV:   a.Voltage.V(),
+			})
+		}
+		res.Trace = append(res.Trace, rt)
+		// Under drop/dup policies a node can poll fine yet miss its
+		// actuation ack, leaving it charged conservatively while its
+		// assignment reads above-floor; the Decision does not expose the
+		// acked set, so the floor side-condition is only decidable
+		// without message-fault policies.
+		suite.Report(invariant.CheckLedger(invariant.Ledger{
+			At:             dec.At,
+			Budget:         dec.Budget,
+			Live:           dec.Charged - dec.Reserved,
+			Reserved:       dec.Reserved,
+			Charged:        dec.Charged,
+			Met:            dec.BudgetMet,
+			AllLiveAtFloor: allAtFloor || policyActive(spec, round),
+		})...)
+	}
+	finishResult(res, suite)
+	return res, nil
+}
+
+// policyAt returns the faultnet policy in force for node i at the round
+// (the zero Policy when none).
+func policyAt(spec Spec, node, round int) faultnet.Policy {
+	for _, p := range spec.Policies {
+		if p.Node == node && round >= p.From && round < p.To {
+			return faultnet.Policy{
+				DropProb: p.Drop,
+				DupProb:  p.Dup,
+				Delay:    time.Duration(p.DelayUS) * time.Microsecond,
+			}
+		}
+	}
+	return faultnet.Policy{}
+}
+
+// policyActive reports whether any message-fault policy has started by
+// the round (its accounting effects persist past the window).
+func policyActive(spec Spec, round int) bool {
+	for _, p := range spec.Policies {
+		if round >= p.From {
+			return true
+		}
+	}
+	return false
+}

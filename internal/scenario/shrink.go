@@ -1,0 +1,171 @@
+package scenario
+
+// FailFunc reports whether a candidate spec still reproduces the failure
+// being shrunk.
+type FailFunc func(Spec) bool
+
+// Shrink greedily reduces a failing spec to a smaller reproducer: at each
+// step it proposes structurally simpler candidates (drop the UPS, a fault
+// window, a budget event, a node, a CPU; halve the rounds; flatten a
+// phased workload) and keeps the first that still fails, until no
+// candidate fails or maxAttempts runs are spent. The seed is never
+// changed — a shrunk spec replays with the same determinism guarantee as
+// the original. Returns the smallest failing spec found and the number
+// of candidate runs consumed.
+func Shrink(spec Spec, failing FailFunc, maxAttempts int) (Spec, int) {
+	attempts := 0
+	for {
+		improved := false
+		for _, cand := range candidates(spec) {
+			if attempts >= maxAttempts {
+				return spec, attempts
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			attempts++
+			if failing(cand) {
+				spec = cand
+				improved = true
+				break // restart candidate generation from the smaller spec
+			}
+		}
+		if !improved {
+			return spec, attempts
+		}
+	}
+}
+
+// candidates proposes one-step simplifications, cheapest-win first.
+func candidates(s Spec) []Spec {
+	var out []Spec
+	if s.UPS != nil {
+		c := clone(s)
+		c.UPS = nil
+		out = append(out, c)
+	}
+	for i := range s.Policies {
+		c := clone(s)
+		c.Policies = append(append([]PolicyWindow(nil), c.Policies[:i]...), c.Policies[i+1:]...)
+		out = append(out, c)
+	}
+	for i := range s.Partitions {
+		c := clone(s)
+		c.Partitions = append(append([]Window(nil), c.Partitions[:i]...), c.Partitions[i+1:]...)
+		out = append(out, c)
+	}
+	for i := range s.Events {
+		c := clone(s)
+		c.Events = append(append([]BudgetEvent(nil), c.Events[:i]...), c.Events[i+1:]...)
+		out = append(out, c)
+	}
+	if s.Rounds > 3 {
+		out = append(out, truncateRounds(s, s.Rounds/2))
+	}
+	if s.Rounds > 1 {
+		out = append(out, truncateRounds(s, s.Rounds-1))
+	}
+	if len(s.Nodes) > 1 {
+		for i := range s.Nodes {
+			out = append(out, dropNode(s, i))
+		}
+	}
+	for i, n := range s.Nodes {
+		if len(n.CPUs) > 1 {
+			c := clone(s)
+			c.Nodes[i].CPUs = c.Nodes[i].CPUs[:len(c.Nodes[i].CPUs)-1]
+			out = append(out, c)
+		}
+	}
+	for i, n := range s.Nodes {
+		for j, cs := range n.CPUs {
+			if cs.Kind == Phased {
+				c := clone(s)
+				c.Nodes[i].CPUs[j].Kind = MemBound
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// truncateRounds shortens the run, dropping or clamping anything that
+// referenced rounds past the new end.
+func truncateRounds(s Spec, rounds int) Spec {
+	c := clone(s)
+	c.Rounds = rounds
+	c.Events = nil
+	for _, e := range s.Events {
+		if e.Round < rounds {
+			c.Events = append(c.Events, e)
+		}
+	}
+	c.Partitions = nil
+	for _, w := range s.Partitions {
+		if w.From >= rounds {
+			continue
+		}
+		if w.To > rounds {
+			w.To = rounds
+		}
+		c.Partitions = append(c.Partitions, w)
+	}
+	c.Policies = nil
+	for _, p := range s.Policies {
+		if p.From >= rounds {
+			continue
+		}
+		if p.To > rounds {
+			p.To = rounds
+		}
+		c.Policies = append(c.Policies, p)
+	}
+	if c.UPS != nil && c.UPS.FailRound >= rounds {
+		c.UPS = nil
+	}
+	return c
+}
+
+// dropNode removes node i, rewiring window node indices.
+func dropNode(s Spec, i int) Spec {
+	c := clone(s)
+	c.Nodes = append(append([]NodeSpec(nil), s.Nodes[:i]...), s.Nodes[i+1:]...)
+	c.Partitions = nil
+	for _, w := range s.Partitions {
+		if w.Node == i {
+			continue
+		}
+		if w.Node > i {
+			w.Node--
+		}
+		c.Partitions = append(c.Partitions, w)
+	}
+	c.Policies = nil
+	for _, p := range s.Policies {
+		if p.Node == i {
+			continue
+		}
+		if p.Node > i {
+			p.Node--
+		}
+		c.Policies = append(c.Policies, p)
+	}
+	return c
+}
+
+// clone deep-copies the spec's slices so candidate edits never alias.
+func clone(s Spec) Spec {
+	c := s
+	c.Nodes = make([]NodeSpec, len(s.Nodes))
+	for i, n := range s.Nodes {
+		c.Nodes[i] = NodeSpec{CPUs: append([]CPUSpec(nil), n.CPUs...)}
+	}
+	c.Events = append([]BudgetEvent(nil), s.Events...)
+	c.Partitions = append([]Window(nil), s.Partitions...)
+	c.Policies = append([]PolicyWindow(nil), s.Policies...)
+	if s.UPS != nil {
+		u := *s.UPS
+		c.UPS = &u
+	}
+	return c
+}
