@@ -28,12 +28,15 @@ experiments:
 # zero-alloc guarantees (Scheduler.Schedule, Machine.Step), the worker-pool
 # runner at 1 vs 4 workers, then BENCH_hotpath.json, the farm allocator's
 # reallocation-pass cost + farm-powerfail wall-clock in BENCH_farm.json,
-# and per-experiment wall-clock/allocation stats in BENCH_experiments.json.
+# the tracing overhead in BENCH_obs.json (fails if the no-sink hot path
+# allocates), and per-experiment wall-clock/allocation stats in
+# BENCH_experiments.json.
 bench:
 	$(GO) test -bench 'SchedulePass|MachineStep|RunAll' -benchmem \
 		./internal/fvsst/ ./internal/machine/ ./internal/experiments/
 	$(GO) run ./cmd/experiments hotpath
 	$(GO) run ./cmd/experiments farmbench
+	$(GO) run ./cmd/experiments obsbench
 	$(GO) run ./cmd/experiments -scale 0.05 -parallel 4 \
 		-bench-out BENCH_experiments.json all > /dev/null
 	@echo "(written to BENCH_experiments.json)"

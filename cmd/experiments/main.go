@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [flags] [list | all | hotpath | farmbench | soak | <id>...]
+//	experiments [flags] [list | all | hotpath | farmbench | obsbench | soak | report | <id>...]
 //
 // The experiment ids, their descriptions and the usage text all come from
 // the registry in internal/experiments (run `experiments list` to see
@@ -16,7 +16,9 @@
 // per-experiment wall-clock and allocation stats as JSON. The `hotpath`
 // subcommand benchmarks the scheduler's steady-state hot path instead of
 // running experiments; `farmbench` does the same for the farm allocator's
-// reallocation pass plus the farm-powerfail study's wall-clock.
+// reallocation pass plus the farm-powerfail study's wall-clock; `obsbench`
+// pins the tracing overhead (the no-sink path must stay at 0 allocs/op).
+// `report` renders the energy & compliance ledger from a JSONL trace.
 package main
 
 import (
@@ -34,7 +36,7 @@ import (
 
 func usage() {
 	w := flag.CommandLine.Output()
-	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | soak | <id>...]\n\nExperiments:\n")
+	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | obsbench | soak | report | <id>...]\n\nExperiments:\n")
 	for _, s := range experiments.Registry() {
 		fmt.Fprintf(w, "  %-12s %s\n", s.ID, s.Desc)
 	}
@@ -86,9 +88,21 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "obsbench":
+		if err := runObsbench(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "obsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "soak":
 		if err := runSoak(args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "report":
+		if err := runReport(args[1:], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// runObsbench benchmarks the tracing overhead and writes BENCH_obs.json
+// (or the -bench-out override). The rows pin the three costs the
+// observability tier is allowed to have:
+//
+//   - Schedule/no-sink: the scheduler hot path with tracing off — must
+//     stay at 0 allocs/op (the same guarantee TestScheduleZeroAlloc
+//     enforces), because a disabled sink is the production default;
+//   - Schedule/flight-recorder: the same pass with a flight recorder
+//     attached, the realistic always-on cost;
+//   - FlightRecorder.Emit / Ledger.Emit: the per-event sink costs in
+//     isolation.
+func runObsbench(outPath string) error {
+	if outPath == "" {
+		outPath = "BENCH_obs.json"
+	}
+	_, noSink, err := hotpathWorld()
+	if err != nil {
+		return err
+	}
+	_, traced, err := hotpathWorld()
+	if err != nil {
+		return err
+	}
+	rec := obs.NewFlightRecorder(0, 0)
+	traced.SetSink(rec)
+
+	var results []hotpathResult
+	add := func(name string, r testing.BenchmarkResult) {
+		results = append(results, hotpathResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+
+	add("Schedule/no-sink", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := noSink.Schedule("timer"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add("Schedule/flight-recorder", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := traced.Schedule("timer"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	quantum := obs.Event{Type: obs.EventQuantum, At: 1, PassID: 1, Node: "n0", CPUPowerW: 120}
+	sched := obs.Event{Type: obs.EventSchedule, At: 1, PassID: 1, Trigger: "timer", BudgetW: 200, ChargedW: 180}
+	emitRec := obs.NewFlightRecorder(0, 0)
+	emitRec.Emit(quantum) // pre-create the node's series ring
+	add("FlightRecorder.Emit", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			emitRec.Emit(quantum)
+			emitRec.Emit(sched)
+		}
+	}))
+	ledger := obs.NewLedger()
+	ledger.Emit(quantum)
+	add("Ledger.Emit", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ledger.Emit(quantum)
+			ledger.Emit(sched)
+		}
+	}))
+
+	// The no-sink row is a contract, not just a number: regressing it
+	// means every production run without tracing pays for the feature.
+	if a := results[0].AllocsPerOp; a != 0 {
+		return fmt.Errorf("no-sink Schedule allocates %d allocs/op, want 0", a)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-26s %12.0f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("(written to %s)\n", outPath)
+	return nil
+}

@@ -26,6 +26,7 @@ func runSoak(args []string) error {
 	wall := fs.Duration("wall", 0, "wall-clock budget; jobs not started in time are marked skipped (0 = unbounded)")
 	sabotage := fs.String("sabotage", "", "inject a deliberate defect into cluster runs (step2-invert); the checkers must catch it")
 	shrink := fs.Int("shrink", 400, "max candidate runs when shrinking a failing cluster seed (0 = off)")
+	dumpDir := fs.String("dump-dir", os.TempDir(), "directory for flight-recorder snapshots of violating cluster seeds (empty = off)")
 	jsonOut := fs.String("json", "", "write the full report as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,6 +41,7 @@ func runSoak(args []string) error {
 		Wall:      *wall,
 		Sabotage:  *sabotage,
 		ShrinkMax: *shrink,
+		DumpDir:   *dumpDir,
 	})
 
 	if *jsonOut != "" {
@@ -81,6 +83,9 @@ func runSoak(args []string) error {
 				break
 			}
 			fmt.Printf("    divergence r=%d: %s\n", d.Round, d.Detail)
+		}
+		if r.FlightDump != "" {
+			fmt.Printf("    flight recorder: %s\n", r.FlightDump)
 		}
 		if r.Shrunk != nil {
 			data, _ := json.Marshal(r.Shrunk)

@@ -22,10 +22,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -61,6 +64,8 @@ type options struct {
 	logEvery     int
 	tracePath    string
 	metricsPath  string
+	metricsAddr  string
+	report       string
 }
 
 // result summarises a run for the safety check and the smoke test.
@@ -158,7 +163,23 @@ func run(o options, out io.Writer) (result, error) {
 		}
 		defer f.Close()
 		trace = obs.NewJSONLWriter(f)
+		// Flush on every exit path (defers run before f.Close); the
+		// explicit Close further down reports the sticky error on the
+		// happy path. A trace truncated by an error exit is still valid
+		// JSONL up to its last complete line.
+		defer trace.Close()
 		sinks = append(sinks, trace)
+	}
+	var ledger *obs.Ledger
+	var reportSections []string
+	if o.report != "" {
+		var err error
+		reportSections, err = obs.ParseSections(o.report)
+		if err != nil {
+			return res, fmt.Errorf("-report: %w", err)
+		}
+		ledger = obs.NewLedger()
+		sinks = append(sinks, ledger)
 	}
 	sink := obs.Tee(sinks...)
 
@@ -213,6 +234,25 @@ func run(o options, out io.Writer) (result, error) {
 		return res, err
 	}
 	defer coord.Close()
+
+	if o.metricsAddr != "" {
+		// Bind synchronously so an unusable address fails the run up front
+		// instead of racing against a short simulation (same contract as
+		// fvsst-sim -metrics-addr).
+		ln, err := net.Listen("tcp", o.metricsAddr)
+		if err != nil {
+			return res, fmt.Errorf("metrics endpoint: %w", err)
+		}
+		defer ln.Close()
+		// Print the bound address, not the flag: with ":0" the OS picks
+		// the port, and scripts need to learn which one.
+		fmt.Fprintf(out, "metrics endpoint listening on %s\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, ccfg.Metrics.Registry.Handler()); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+	}
 
 	partitionName := ""
 	if o.partition >= 0 {
@@ -279,6 +319,12 @@ func run(o options, out io.Writer) (result, error) {
 	fmt.Fprintf(out, "budget safety: %d violations across %d rounds; peak charged/budget %.0f%%\n",
 		res.violations, len(res.decisions), 100*worst)
 
+	if ledger != nil {
+		fmt.Fprintln(out)
+		if err := ledger.Summary().WriteText(out, reportSections); err != nil {
+			return res, err
+		}
+	}
 	if trace != nil {
 		if err := trace.Close(); err != nil {
 			return res, err
@@ -321,6 +367,8 @@ func main() {
 	flag.IntVar(&o.logEvery, "log-every", 5, "print every n-th routine timer decision")
 	flag.StringVar(&o.tracePath, "trace", "", "write one JSONL trace event per decision/transition to this file")
 	flag.StringVar(&o.metricsPath, "metrics", "", "write Prometheus text-format transport metrics to this file at exit")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve a live Prometheus /metrics endpoint on this address (e.g. :9090)")
+	flag.StringVar(&o.report, "report", "", "print the energy & compliance ledger at exit (comma-separated sections, or \"all\")")
 	flag.Parse()
 
 	res, err := run(o, os.Stdout)

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestAcceptanceScenario is the issue's end-to-end check: three nodes on
@@ -96,6 +100,109 @@ func TestBudgetScheduleFlag(t *testing.T) {
 	o.scheduleSpec = "garbage"
 	if _, err := run(o, &strings.Builder{}); err == nil {
 		t.Error("invalid -budget-schedule accepted")
+	}
+}
+
+// TestTraceReconstructsPasses is the causal-tracing acceptance check: a
+// seeded fault-free loopback run with -trace and -report must produce a
+// JSONL stream from which every scheduling pass is reconstructable end
+// to end — schedule event, pass root span, the Figure-3 step children,
+// and per-node rpc:counters/rpc:actuate spans with a non-negative
+// queue/wire/apply latency breakdown — plus the ledger report on stdout.
+func TestTraceReconstructsPasses(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	o := options{
+		nodes:       2,
+		budgetW:     700,
+		partition:   -1,
+		duration:    1,
+		epsilon:     0.05,
+		scale:       0.5,
+		seed:        3,
+		missK:       3,
+		rpcTimeout:  40 * time.Millisecond,
+		lease:       800 * time.Millisecond,
+		logEvery:    5,
+		tracePath:   tracePath,
+		metricsAddr: "127.0.0.1:0",
+		report:      "all",
+	}
+	var out strings.Builder
+	res, err := run(o, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"metrics endpoint listening on", "energy", "compliance", "overshoot"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var buf obs.Buffer
+	if _, err := obs.ReplayJSONL(f, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	type passTree struct {
+		schedule, root, steps int
+		rpcCounters           map[string]int
+		rpcActuate            map[string]int
+	}
+	passes := map[uint64]*passTree{}
+	get := func(id uint64) *passTree {
+		p := passes[id]
+		if p == nil {
+			p = &passTree{rpcCounters: map[string]int{}, rpcActuate: map[string]int{}}
+			passes[id] = p
+		}
+		return p
+	}
+	for _, e := range buf.Events() {
+		switch {
+		case e.Type == obs.EventSchedule:
+			get(e.PassID).schedule++
+		case e.Type != obs.EventSpan:
+			continue
+		case e.Span == obs.SpanPass:
+			get(e.PassID).root++
+		case e.Span == obs.SpanGridFill, e.Span == obs.SpanStepOne, e.Span == obs.SpanStepTwo, e.Span == obs.SpanStepThree:
+			get(e.PassID).steps++
+		case e.Span == obs.SpanRPCCounters:
+			get(e.PassID).rpcCounters[e.Node]++
+		case e.Span == obs.SpanRPCActuate:
+			get(e.PassID).rpcActuate[e.Node]++
+		}
+		if e.Type == obs.EventSpan && (e.DurS < 0 || e.QueueS < 0 || e.WireS < 0 || e.ApplyS < 0) {
+			t.Errorf("pass %d span %s/%s has negative timing: %+v", e.PassID, e.Node, e.Span, e)
+		}
+	}
+	rounds := len(res.decisions)
+	if rounds == 0 {
+		t.Fatal("no rounds")
+	}
+	for id := uint64(1); id <= uint64(rounds); id++ {
+		p := passes[id]
+		if p == nil {
+			t.Fatalf("pass %d missing from the trace entirely", id)
+		}
+		if p.schedule != 1 || p.root != 1 || p.steps != 4 {
+			t.Errorf("pass %d: %d schedule events, %d root spans, %d step spans; want 1/1/4", id, p.schedule, p.root, p.steps)
+		}
+		// Fault-free run: both nodes answer both RPCs every round.
+		for _, node := range []string{"node0", "node1"} {
+			if p.rpcCounters[node] != 1 || p.rpcActuate[node] != 1 {
+				t.Errorf("pass %d node %s: %d counters + %d actuate rpc spans; want 1+1",
+					id, node, p.rpcCounters[node], p.rpcActuate[node])
+			}
+		}
+	}
+	if got := uint64(len(passes)); got != uint64(rounds) {
+		t.Errorf("trace holds %d pass IDs for %d rounds", got, rounds)
 	}
 }
 

@@ -69,6 +69,14 @@ func parseJob(spec string, scale float64) (workload.Program, error) {
 }
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is main's body with error returns instead of log.Fatal, so the
+// deferred trace flush and listener teardown execute on every exit path.
+func run() error {
 	jobs := flag.String("jobs", "mcf,idle,idle,idle", "comma-separated per-CPU jobs")
 	budgetW := flag.Float64("budget", 560, "initial CPU power budget (watts)")
 	failAt := flag.Float64("fail-at", 0, "simulated time of a power-supply failure dropping the budget to 294W (0 = never)")
@@ -88,11 +96,11 @@ func main() {
 	mcfg.Seed = *seed
 	m, err := machine.New(mcfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	specs := strings.Split(*jobs, ",")
 	if len(specs) > mcfg.NumCPUs {
-		log.Fatalf("%d jobs for %d CPUs", len(specs), mcfg.NumCPUs)
+		return fmt.Errorf("%d jobs for %d CPUs", len(specs), mcfg.NumCPUs)
 	}
 	for cpu, spec := range specs {
 		spec = strings.TrimSpace(spec)
@@ -101,14 +109,14 @@ func main() {
 		}
 		prog, err := parseJob(spec, *scale)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		mix, err := workload.NewMix(prog)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := m.SetMix(cpu, mix); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -118,14 +126,14 @@ func main() {
 	cfg.UseIdealFrequency = *ideal
 	sched, err := fvsst.New(cfg, m, units.Watts(*budgetW))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	drv := fvsst.NewDriver(m, sched)
 	if *failAt > 0 {
 		drv.Budgets, err = power.NewBudgetSchedule(units.Watts(*budgetW),
 			power.BudgetEvent{At: *failAt, Budget: units.Watts(294), Label: "supply failure"})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -136,27 +144,34 @@ func main() {
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer f.Close()
 		trace = obs.NewJSONLWriter(f)
+		// Flush on every exit path (defers run before f.Close); the
+		// explicit Close below reports the sticky error on the happy path.
+		defer trace.Close()
 		sinks = append(sinks, trace)
 	}
 	var metrics *obs.Metrics
 	if *metricsPath != "" || *metricsAddr != "" {
 		metrics = obs.NewMetrics()
 		sinks = append(sinks, metrics)
-		drv.Sink = metrics
 	}
 	if len(sinks) > 0 {
-		sched.SetSink(obs.Tee(sinks...))
+		// Decisions and per-quantum power samples both fan out to every
+		// sink: the JSONL trace then carries everything `experiments
+		// report` needs to integrate energy, not just the decision log.
+		all := obs.Tee(sinks...)
+		sched.SetSink(all)
+		drv.Sink = all
 	}
 	if *metricsAddr != "" {
 		// Bind synchronously so an unusable address fails the run up
 		// front instead of racing against a short simulation.
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			log.Fatalf("metrics endpoint: %v", err)
+			return fmt.Errorf("metrics endpoint: %w", err)
 		}
 		defer ln.Close()
 		// Print the bound address, not the flag: with ":0" the OS picks
@@ -174,7 +189,7 @@ func main() {
 	lastLogged := -1
 	for m.Now() < *duration && !m.AllJobsDone() {
 		if err := drv.Step(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		decs := sched.Decisions()
 		if len(decs)-1 == lastLogged {
@@ -204,21 +219,22 @@ func main() {
 
 	if trace != nil {
 		if err := trace.Close(); err != nil {
-			log.Fatalf("trace: %v", err)
+			return fmt.Errorf("trace: %w", err)
 		}
 		fmt.Printf("\ndecision trace written to %s\n", *tracePath)
 	}
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := metrics.Registry.WritePrometheus(f); err != nil {
-			log.Fatalf("metrics: %v", err)
+			return fmt.Errorf("metrics: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("metrics written to %s\n", *metricsPath)
 	}
+	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/counters"
 	"repro/internal/engine"
@@ -104,6 +105,9 @@ type Coordinator struct {
 	// hand-rolled now/quantum/collects accumulators).
 	loop *engine.Loop
 	sink obs.Sink
+	// passID counts global passes from the engine clock epoch; it stamps
+	// the pass's schedule event and spans (obs.Event.PassID).
+	passID uint64
 }
 
 // New builds a coordinator over the nodes with a global processor power
@@ -158,10 +162,15 @@ func staleQuanta(rtt, quantum float64) int {
 func (c *Coordinator) Nodes() []*Node { return c.nodes }
 
 // SetSink attaches an observability sink: one obs.EventSchedule per
-// global pass (CPU traces and demotions carry the node name) and one
-// obs.EventQuantum per Step with the aggregate cluster power. A nil sink
-// — the default — disables tracing.
-func (c *Coordinator) SetSink(sink obs.Sink) { c.sink = sink }
+// global pass (CPU traces and demotions carry the node name), one
+// obs.EventQuantum per Step with the aggregate cluster power, and the
+// per-pass span tree (pass root plus grid-fill/step1/step2/step3/actuate
+// children). A nil sink — the default — disables tracing and the phase
+// clock reads with it.
+func (c *Coordinator) SetSink(sink obs.Sink) {
+	c.sink = sink
+	c.core.SetPhaseTiming(sink != nil)
+}
 
 // SetBudgetSource drives the global budget from a farm.BudgetSource
 // instead of the Budgets schedule (the source wins when both are set).
@@ -332,10 +341,20 @@ func (c *Coordinator) FloorPower() units.Power {
 // schedule runs the shared global pass and dispatches RTT-delayed
 // actuations.
 func (c *Coordinator) schedule(trigger string) error {
+	c.passID++
+	trace := c.sink != nil
+	var passStart time.Time
+	if trace {
+		passStart = time.Now()
+	}
 	procs, inputs := c.buildInputs()
 	res, err := c.core.Schedule(inputs, c.budget)
 	if err != nil {
 		return err
+	}
+	var actStart time.Time
+	if trace {
+		actStart = time.Now()
 	}
 	for i, p := range procs {
 		n := c.nodes[p.Node]
@@ -346,6 +365,10 @@ func (c *Coordinator) schedule(trigger string) error {
 			m:    n.M,
 		})
 	}
+	var actDur time.Duration
+	if trace {
+		actDur = time.Since(actStart)
+	}
 	c.decisions = append(c.decisions, Decision{
 		At:          c.loop.Now(),
 		Trigger:     trigger,
@@ -354,8 +377,14 @@ func (c *Coordinator) schedule(trigger string) error {
 		BudgetMet:   res.BudgetMet,
 		Assignments: res.Assignments,
 	})
-	if c.sink != nil {
-		c.sink.Emit(PassEvent(c.loop.Now(), trigger, c.budget, inputs, res))
+	if trace {
+		now := c.loop.Now()
+		ev := PassEvent(now, trigger, c.budget, inputs, res)
+		ev.PassID = c.passID
+		c.sink.Emit(ev)
+		EmitStepSpans(c.sink, now, c.passID, res.Timings)
+		c.sink.Emit(obs.SpanEvent(now, c.passID, "", obs.SpanActuate, obs.SpanPass, actDur.Seconds()))
+		c.sink.Emit(obs.SpanEvent(now, c.passID, "", obs.SpanPass, "", time.Since(passStart).Seconds()))
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/farm"
 	"repro/internal/fvsst"
@@ -28,11 +29,24 @@ type PassResult struct {
 	Demotions   []fvsst.Demotion
 	TablePower  units.Power
 	BudgetMet   bool
+	// Timings carries the wall-clock phase breakdown when the owning core
+	// has SetPhaseTiming(true); the zero value means timing was off.
+	Timings PassTimings
 	// predIPC/predValid keep each processor's predicted IPC at its actual
 	// setting for trace enrichment (predValid is false for idle or
 	// unobserved processors).
 	predIPC   []float64
 	predValid []bool
+}
+
+// PassTimings is the wall-clock duration of each Figure-3 phase of one
+// pass, in seconds. GridFill (decompose + per-frequency sweeps) is broken
+// out of StepOne so the two child spans are disjoint.
+type PassTimings struct {
+	GridFill  float64
+	StepOne   float64
+	StepTwo   float64
+	StepThree float64
 }
 
 // Core is the transport-independent heart of the cluster scheduler: the
@@ -54,7 +68,17 @@ type Core struct {
 	desiredIdx []int
 	actualIdx  []int
 	demo       []fvsst.Demotion
+
+	// timing gates the wall-clock phase breakdown (SetPhaseTiming);
+	// timings is the per-pass scratch it fills.
+	timing  bool
+	timings PassTimings
 }
+
+// SetPhaseTiming toggles the per-phase wall-clock breakdown on Schedule
+// results. Off by default: the coordinators enable it only when a trace
+// sink is attached, keeping the no-sink hot path free of clock reads.
+func (c *Core) SetPhaseTiming(on bool) { c.timing = on }
 
 // NewCore validates the configuration and builds the shared core.
 func NewCore(cfg fvsst.Config) (*Core, error) {
@@ -77,6 +101,12 @@ func (c *Core) Config() fvsst.Config { return c.cfg }
 // the ε-constrained setting otherwise). Shared by Schedule, DemandCurve
 // and UniformLoss.
 func (c *Core) stepOne(inputs []ProcInput) error {
+	var start time.Time
+	var fill time.Duration
+	if c.timing {
+		c.timings = PassTimings{}
+		start = time.Now()
+	}
 	n := len(inputs)
 	c.grid.Reset(n, c.set)
 	if cap(c.desiredIdx) < n {
@@ -96,11 +126,18 @@ func (c *Core) stepOne(inputs []ProcInput) error {
 			c.desiredIdx[i] = nf - 1 // set maximum
 			continue
 		}
+		var t0 time.Time
+		if c.timing {
+			t0 = time.Now()
+		}
 		dec, err := c.pred.Decompose(*in.Obs)
 		if err != nil {
 			return fmt.Errorf("cluster: %s cpu %d: %w", in.Node, in.Proc.CPU, err)
 		}
 		c.grid.Fill(i, dec)
+		if c.timing {
+			fill += time.Since(t0)
+		}
 		if c.cfg.UseIdealFrequency {
 			f, err := fvsst.IdealEpsilonFrequency(dec, c.set, c.cfg.Epsilon)
 			if err != nil {
@@ -110,6 +147,10 @@ func (c *Core) stepOne(inputs []ProcInput) error {
 		} else {
 			c.desiredIdx[i] = fvsst.EpsilonIndexGrid(&c.grid, i, c.cfg.Epsilon)
 		}
+	}
+	if c.timing {
+		c.timings.GridFill = fill.Seconds()
+		c.timings.StepOne = (time.Since(start) - fill).Seconds()
 	}
 	return nil
 }
@@ -209,8 +250,17 @@ func (c *Core) Schedule(inputs []ProcInput, budget units.Power) (PassResult, err
 	}
 	n := len(inputs)
 	copy(c.actualIdx, c.desiredIdx)
+	var t2 time.Time
+	if c.timing {
+		t2 = time.Now()
+	}
 	demotions, met := fvsst.FitToBudgetGrid(&c.grid, c.actualIdx, c.cfg.Table, budget, c.demo[:0])
 	c.demo = demotions[:0] // keep any grown backing array
+	var t3 time.Time
+	if c.timing {
+		t3 = time.Now()
+		c.timings.StepTwo = t3.Sub(t2).Seconds()
+	}
 
 	var tablePower units.Power
 	assignments := make([]Assignment, n)
@@ -239,6 +289,11 @@ func (c *Core) Schedule(inputs []ProcInput, budget units.Power) (PassResult, err
 		BudgetMet:   met,
 		predIPC:     predIPC,
 		predValid:   predValid,
+	}
+	if c.timing {
+		// The assignment/voltage loop above is the Step-3 share of the pass.
+		c.timings.StepThree = time.Since(t3).Seconds()
+		res.Timings = c.timings
 	}
 	if len(demotions) > 0 {
 		res.Demotions = append([]fvsst.Demotion(nil), demotions...)
@@ -286,4 +341,14 @@ func PassEvent(at float64, trigger string, budget units.Power, inputs []ProcInpu
 		})
 	}
 	return ev
+}
+
+// EmitStepSpans emits the Figure-3 phase children of one pass's span tree
+// (grid-fill, step1, step2, step3) from a timed PassResult. Callers emit
+// these only when a sink is attached and SetPhaseTiming was enabled.
+func EmitStepSpans(sink obs.Sink, at float64, passID uint64, t PassTimings) {
+	sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanGridFill, obs.SpanPass, t.GridFill))
+	sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanStepOne, obs.SpanPass, t.StepOne))
+	sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanStepTwo, obs.SpanPass, t.StepTwo))
+	sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanStepThree, obs.SpanPass, t.StepThree))
 }

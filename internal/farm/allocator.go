@@ -3,6 +3,7 @@ package farm
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -104,6 +105,10 @@ type Allocator struct {
 	// scratch reused across Allocate calls.
 	pos       []int
 	reachable []bool
+
+	// passID counts reallocation passes from the farm clock epoch; it
+	// stamps the realloc event and its alloc span (obs.Event.PassID).
+	passID uint64
 }
 
 // NewAllocator validates the configuration and builds the allocator.
@@ -202,6 +207,11 @@ func (a *Allocator) Allocate(now float64, trigger string, demands []Demand) (All
 	if len(demands) != len(a.cfg.Members) {
 		return Allocation{}, fmt.Errorf("farm: %d demands for %d members", len(demands), len(a.cfg.Members))
 	}
+	a.passID++
+	var passStart time.Time
+	if a.cfg.Sink != nil {
+		passStart = time.Now()
+	}
 	budget := a.cfg.Source.BudgetAt(now)
 	allocatable := units.Power(float64(budget) * (1 - a.cfg.Safety))
 
@@ -256,6 +266,11 @@ func (a *Allocator) Allocate(now float64, trigger string, demands []Demand) (All
 	}
 	alloc.Charged = a.Charged(now)
 	a.observe(&alloc, demands)
+	if a.cfg.Sink != nil {
+		// The reallocation pass's root span: farm passes have no phase
+		// children, so one "alloc" span carries the whole duration.
+		a.cfg.Sink.Emit(obs.SpanEvent(now, a.passID, "", obs.SpanAlloc, "", time.Since(passStart).Seconds()))
+	}
 	return alloc, nil
 }
 
@@ -368,6 +383,7 @@ func (a *Allocator) observe(alloc *Allocation, demands []Demand) {
 	ev := obs.Event{
 		Type:         obs.EventRealloc,
 		At:           alloc.At,
+		PassID:       a.passID,
 		Trigger:      alloc.Trigger,
 		BudgetW:      alloc.Budget.W(),
 		ChargedW:     alloc.Charged.W(),

@@ -2,6 +2,7 @@ package fvsst
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/counters"
 	"repro/internal/engine"
@@ -227,8 +228,12 @@ type Scheduler struct {
 	// prediction so the next pass can score it against observation.
 	lastPredIPC   []float64
 	lastPredValid []bool
-	// sink, when non-nil, receives one obs.EventSchedule per pass.
+	// sink, when non-nil, receives one obs.EventSchedule per pass plus
+	// the pass's span tree (root + grid-fill/step1/step2/step3/actuate).
 	sink obs.Sink
+	// passID counts scheduling passes from the engine clock epoch and
+	// stamps each pass's event and spans (obs.Event.PassID).
+	passID uint64
 
 	// Per-pass scratch, valid for the duration of one Schedule call and
 	// reused across passes so the steady-state hot path performs no
@@ -460,6 +465,15 @@ func (s *Scheduler) resetScratch(n int) {
 // attribution all read from it. The decisions are identical to the direct
 // per-frequency computation — the grid stores the same bit patterns.
 func (s *Scheduler) Schedule(trigger string) (Decision, error) {
+	s.passID++
+	// trace gates every clock read and span emission: with no sink the
+	// pass performs no timing work (TestScheduleZeroAlloc pins this path).
+	trace := s.sink != nil
+	var passStart time.Time
+	var fillDur time.Duration
+	if trace {
+		passStart = time.Now()
+	}
 	n := s.target.NumCPUs()
 	s.resetScratch(n)
 	nf := s.grid.NumFreqs()
@@ -478,11 +492,18 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 			s.desiredIdx[cpu] = nf - 1
 			continue
 		}
+		var fillStart time.Time
+		if trace {
+			fillStart = time.Now()
+		}
 		dec, err := s.decompose(cpu, obsv)
 		if err != nil {
 			return Decision{}, fmt.Errorf("fvsst: cpu %d: %w", cpu, err)
 		}
 		s.grid.Fill(cpu, dec)
+		if trace {
+			fillDur += time.Since(fillStart)
+		}
 		s.observed[cpu] = obsv.Delta.IPC()
 		s.obsOK[cpu] = true
 		if s.cfg.UseIdealFrequency {
@@ -518,9 +539,17 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 
 	// Step 2: fit the aggregate power to the budget, recording every
 	// reduction for the decision's demotion attribution.
+	var step2Start time.Time
+	if trace {
+		step2Start = time.Now()
+	}
 	copy(s.actualIdx, s.desiredIdx)
 	demotions, met := FitToBudgetGrid(&s.grid, s.actualIdx, s.cfg.Table, s.budget, s.scratchDemo[:0])
 	s.scratchDemo = demotions[:0] // keep any grown backing array
+	var step3Start time.Time
+	if trace {
+		step3Start = time.Now()
+	}
 
 	// Step 3: voltages — per-CPU tables when the machine has process
 	// variation, otherwise index math on the shared table.
@@ -537,6 +566,10 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 	}
 
 	// Actuate and log.
+	var actStart time.Time
+	if trace {
+		actStart = time.Now()
+	}
 	var tablePower units.Power
 	for cpu := 0; cpu < n; cpu++ {
 		ai := s.actualIdx[cpu]
@@ -590,8 +623,21 @@ func (s *Scheduler) Schedule(trigger string) (Decision, error) {
 			d.Demotions = demotions
 		}
 	}
-	if s.sink != nil {
-		s.sink.Emit(d.Event())
+	if trace {
+		actDur := time.Since(actStart)
+		ev := d.Event()
+		ev.PassID = s.passID
+		s.sink.Emit(ev)
+		// Span tree: debounce time rides inside step1's remainder; the
+		// grid fill (decompose + sweep) is broken out so children stay
+		// disjoint.
+		at := d.At
+		s.sink.Emit(obs.SpanEvent(at, s.passID, "", obs.SpanGridFill, obs.SpanPass, fillDur.Seconds()))
+		s.sink.Emit(obs.SpanEvent(at, s.passID, "", obs.SpanStepOne, obs.SpanPass, (step2Start.Sub(passStart) - fillDur).Seconds()))
+		s.sink.Emit(obs.SpanEvent(at, s.passID, "", obs.SpanStepTwo, obs.SpanPass, step3Start.Sub(step2Start).Seconds()))
+		s.sink.Emit(obs.SpanEvent(at, s.passID, "", obs.SpanStepThree, obs.SpanPass, actStart.Sub(step3Start).Seconds()))
+		s.sink.Emit(obs.SpanEvent(at, s.passID, "", obs.SpanActuate, obs.SpanPass, actDur.Seconds()))
+		s.sink.Emit(obs.SpanEvent(at, s.passID, "", obs.SpanPass, "", time.Since(passStart).Seconds()))
 	}
 	return d, nil
 }

@@ -130,9 +130,20 @@ func TestTriggerAttribution(t *testing.T) {
 				t.Errorf("%d trace events with trigger %q, want exactly 1", got, tc.trigger)
 			}
 			decs := s.Decisions()
-			events := buf.Events()
+			var events, passSpans []obs.Event
+			for _, e := range buf.Events() {
+				switch {
+				case e.Type == obs.EventSchedule:
+					events = append(events, e)
+				case e.Type == obs.EventSpan && e.Span == obs.SpanPass:
+					passSpans = append(passSpans, e)
+				}
+			}
 			if len(events) != len(decs) {
-				t.Fatalf("%d trace events for %d decisions", len(events), len(decs))
+				t.Fatalf("%d schedule events for %d decisions", len(events), len(decs))
+			}
+			if len(passSpans) != len(decs) {
+				t.Fatalf("%d pass spans for %d decisions", len(passSpans), len(decs))
 			}
 			for i, e := range events {
 				if e.Trigger != decs[i].Trigger || e.At != decs[i].At {
@@ -141,6 +152,11 @@ func TestTriggerAttribution(t *testing.T) {
 				}
 				if len(e.CPUs) != len(decs[i].Assignments) {
 					t.Errorf("event %d has %d CPU traces for %d assignments", i, len(e.CPUs), len(decs[i].Assignments))
+				}
+				// Pass IDs count passes from the clock epoch and join the
+				// schedule event with its span tree.
+				if want := uint64(i + 1); e.PassID != want || passSpans[i].PassID != want {
+					t.Errorf("pass %d: event PassID %d, span PassID %d", i, e.PassID, passSpans[i].PassID)
 				}
 			}
 		})

@@ -232,10 +232,16 @@ func (a *Agent) serve(c proto.Conn) {
 		if err != nil {
 			return // connection gone; coordinator will redial
 		}
+		start := time.Now()
 		a.touch()
 		resp := a.handle(req)
 		resp.ID = req.ID
 		resp.Node = a.cfg.Name
+		// Echo the request's trace context and report the handling time so
+		// the coordinator can split its measured round-trip into wire time
+		// and agent-side service/apply time (the rpc:* span breakdown).
+		resp.Trace = req.Trace
+		resp.ServiceSec = time.Since(start).Seconds()
 		if err := c.Send(resp); err != nil {
 			return
 		}

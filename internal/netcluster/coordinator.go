@@ -190,6 +190,10 @@ type Coordinator struct {
 	clock     *engine.SimClock
 	quantum   float64
 	decisions []Decision
+	// passID counts rounds from the engine clock epoch (round k runs at
+	// epoch time (k−1)·T); it stamps the round's schedule event and spans
+	// and rides the wire as proto.TraceContext.
+	passID uint64
 }
 
 // NewCoordinator validates the configuration and prepares (but does not
@@ -227,6 +231,9 @@ func NewCoordinator(cfg Config, specs ...NodeSpec) (*Coordinator, error) {
 			rng:  rand.New(rand.NewSource(cfg.Seed + int64(i))),
 		}
 	}
+	// Phase timing (the step-span breakdown) is only worth the clock reads
+	// when a sink will see the spans.
+	core.SetPhaseTiming(cfg.Sink != nil)
 	return &Coordinator{cfg: cfg, core: core, nodes: nodes, budget: cfg.Budget, clock: engine.NewSimClock(0)}, nil
 }
 
@@ -426,10 +433,19 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
+// rpcTime is the timing of one successful RPC: when the winning attempt
+// went out, its round trip, and the agent's self-reported service time —
+// the raw material for the rpc:* span queue/wire/apply breakdown.
+type rpcTime struct {
+	sentAt  time.Time
+	rtt     time.Duration
+	service float64
+}
+
 // rpc runs one request against the node with per-attempt deadlines and
 // bounded, jittered retry, redialling broken sessions between attempts.
 // build receives the fresh request ID for each attempt.
-func (c *Coordinator) rpc(ns *nodeState, kind string, build func(id uint64) *proto.Message) (*proto.Message, error) {
+func (c *Coordinator) rpc(ns *nodeState, kind string, build func(id uint64) *proto.Message) (*proto.Message, rpcTime, error) {
 	start := time.Now()
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
@@ -442,10 +458,11 @@ func (c *Coordinator) rpc(ns *nodeState, kind string, build func(id uint64) *pro
 			continue
 		}
 		ns.reqID++
+		attemptStart := time.Now()
 		resp, err := c.exchange(ns.conn, ns.spec.Name, build(ns.reqID))
 		if err == nil {
 			c.cfg.Metrics.observeRPC(ns.spec.Name, kind, time.Since(start))
-			return resp, nil
+			return resp, rpcTime{sentAt: attemptStart, rtt: time.Since(attemptStart), service: resp.ServiceSec}, nil
 		}
 		lastErr = err
 		var ae *AgentError
@@ -453,7 +470,7 @@ func (c *Coordinator) rpc(ns *nodeState, kind string, build func(id uint64) *pro
 			// Semantic rejection: the session is healthy and a retry
 			// would fail identically.
 			c.cfg.Metrics.countFailure(ns.spec.Name, kind)
-			return nil, err
+			return nil, rpcTime{}, err
 		}
 		if isTimeout(err) {
 			c.cfg.Metrics.countTimeout(ns.spec.Name, kind)
@@ -463,7 +480,7 @@ func (c *Coordinator) rpc(ns *nodeState, kind string, build func(id uint64) *pro
 		ns.conn = nil
 	}
 	c.cfg.Metrics.countFailure(ns.spec.Name, kind)
-	return nil, fmt.Errorf("netcluster: %s %s failed after %d attempts: %w",
+	return nil, rpcTime{}, fmt.Errorf("netcluster: %s %s failed after %d attempts: %w",
 		ns.spec.Name, kind, c.cfg.Retries+1, lastErr)
 }
 
@@ -515,6 +532,8 @@ type poll struct {
 	ok        bool
 	reports   []proto.CPUReport
 	cpuPowerW float64
+	// rpc is the counter-poll timing for the node's rpc:counters span.
+	rpc rpcTime
 }
 
 // RunRound executes one scheduling period over the wire: heartbeat and
@@ -528,6 +547,13 @@ func (c *Coordinator) RunRound() error {
 		if ns.caps == nil {
 			return fmt.Errorf("netcluster: node %s never connected; call Connect first", ns.spec.Name)
 		}
+	}
+	c.passID++
+	passID := c.passID
+	trace := c.cfg.Sink != nil
+	var passStart time.Time
+	if trace {
+		passStart = time.Now()
 	}
 	trigger := "timer"
 	var want units.Power
@@ -545,21 +571,22 @@ func (c *Coordinator) RunRound() error {
 	}
 
 	// Phase 1: parallel liveness + counter poll. Each goroutine owns its
-	// node's state; results land in per-node slots.
+	// node's state; results land in per-node slots. Every request carries
+	// the round's trace context, which agents echo on the ack.
 	polls := make([]poll, len(c.nodes))
 	var wg sync.WaitGroup
 	for i, ns := range c.nodes {
 		wg.Add(1)
 		go func(i int, ns *nodeState) {
 			defer wg.Done()
-			if _, err := c.rpc(ns, proto.KindHeartbeat, func(id uint64) *proto.Message {
-				return &proto.Message{Kind: proto.KindHeartbeat, ID: id}
+			if _, _, err := c.rpc(ns, proto.KindHeartbeat, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindHeartbeat, ID: id, Trace: &proto.TraceContext{PassID: passID}}
 			}); err != nil {
 				c.recordMiss(ns, err)
 				return
 			}
-			resp, err := c.rpc(ns, proto.KindCounterRequest, func(id uint64) *proto.Message {
-				return &proto.Message{Kind: proto.KindCounterRequest, ID: id, CounterRequest: &proto.CounterRequest{
+			resp, rt, err := c.rpc(ns, proto.KindCounterRequest, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindCounterRequest, ID: id, Trace: &proto.TraceContext{PassID: passID}, CounterRequest: &proto.CounterRequest{
 					AdvanceQuanta: c.cfg.Fvsst.SchedulePeriods,
 					WindowQuanta:  c.cfg.Fvsst.SchedulePeriods,
 				}}
@@ -572,10 +599,14 @@ func (c *Coordinator) RunRound() error {
 				c.recordMiss(ns, fmt.Errorf("report covers %d of %d CPUs", len(resp.CounterReport.CPUs), ns.caps.NumCPUs))
 				return
 			}
-			polls[i] = poll{ok: true, reports: resp.CounterReport.CPUs, cpuPowerW: resp.CounterReport.CPUPowerW}
+			polls[i] = poll{ok: true, reports: resp.CounterReport.CPUs, cpuPowerW: resp.CounterReport.CPUPowerW, rpc: rt}
 		}(i, ns)
 	}
 	wg.Wait()
+	var pollDur time.Duration
+	if trace {
+		pollDur = time.Since(passStart)
+	}
 
 	// Phase 2: global pass over the reachable nodes, under the budget
 	// minus the silent nodes' worst-case charge.
@@ -602,14 +633,25 @@ func (c *Coordinator) RunRound() error {
 		}
 	}
 	liveBudget := c.budget - reserved
+	var schedStart time.Time
+	if trace {
+		schedStart = time.Now()
+	}
 	res, err := c.core.Schedule(inputs, liveBudget)
 	if err != nil {
 		return err
+	}
+	var schedDur time.Duration
+	var actStart time.Time
+	if trace {
+		actStart = time.Now()
+		schedDur = actStart.Sub(schedStart)
 	}
 
 	// Phase 3: parallel actuation. The last acknowledged assignment is
 	// the node's charge while silent, so it only advances on ack.
 	acked := make([]bool, len(c.nodes))
+	actRPC := make([]rpcTime, len(c.nodes))
 	var awg sync.WaitGroup
 	for i, ns := range c.nodes {
 		if !polls[i].ok {
@@ -624,8 +666,8 @@ func (c *Coordinator) RunRound() error {
 		awg.Add(1)
 		go func(i int, ns *nodeState, freqs []units.Frequency, mhz []float64) {
 			defer awg.Done()
-			_, err := c.rpc(ns, proto.KindActuate, func(id uint64) *proto.Message {
-				return &proto.Message{Kind: proto.KindActuate, ID: id, Actuate: &proto.Actuate{FreqsMHz: mhz}}
+			_, rt, err := c.rpc(ns, proto.KindActuate, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindActuate, ID: id, Trace: &proto.TraceContext{PassID: passID}, Actuate: &proto.Actuate{FreqsMHz: mhz}}
 			})
 			if err != nil {
 				c.recordMiss(ns, err)
@@ -633,10 +675,15 @@ func (c *Coordinator) RunRound() error {
 			}
 			ns.lastFreqs = freqs
 			acked[i] = true
+			actRPC[i] = rt
 			c.recordAlive(ns)
 		}(i, ns, freqs, mhz)
 	}
 	awg.Wait()
+	var actDur time.Duration
+	if trace {
+		actDur = time.Since(actStart)
+	}
 
 	// Phase 4: the round's ledger. Acknowledged nodes are charged their
 	// new assignment; everyone else their worst case under silence.
@@ -683,23 +730,75 @@ func (c *Coordinator) RunRound() error {
 
 	c.cfg.Metrics.setDegraded(degradedCount)
 	c.cfg.Metrics.setCharged(charged, reserved)
-	if c.cfg.Sink != nil {
-		ev := cluster.PassEvent(c.clock.Now(), trigger, c.budget, inputs, res)
+	if trace {
+		at := c.clock.Now()
+		sink := c.cfg.Sink
+		ev := cluster.PassEvent(at, trigger, c.budget, inputs, res)
+		ev.PassID = passID
 		ev.ChargedW = charged.W()
 		ev.ReservedW = reserved.W()
 		ev.HeadroomW = (c.budget - charged).W()
 		ev.BudgetMissed = !dec.BudgetMet
-		c.cfg.Sink.Emit(ev)
-		c.cfg.Sink.Emit(obs.Event{
+		sink.Emit(ev)
+		// Aggregate quantum sample (Node empty, carries the budget), plus
+		// one per polled node so the energy ledger can integrate per-node
+		// Joules. Consumers treat the unnamed row as the cluster aggregate.
+		sink.Emit(obs.Event{
 			Type:      obs.EventQuantum,
-			At:        c.clock.Now(),
+			At:        at,
+			PassID:    passID,
 			BudgetW:   c.budget.W(),
 			CPUPowerW: cpuPowerW,
 		})
+		for i, ns := range c.nodes {
+			if !polls[i].ok {
+				continue
+			}
+			sink.Emit(obs.Event{
+				Type:      obs.EventQuantum,
+				At:        at,
+				PassID:    passID,
+				Node:      ns.spec.Name,
+				CPUPowerW: polls[i].cpuPowerW,
+			})
+		}
+		// The round's span tree: phase children, the Figure-3 step
+		// breakdown inside the schedule phase, per-node RPC spans with the
+		// queue/wire/apply split, and the pass root last.
+		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanPoll, obs.SpanPass, pollDur.Seconds()))
+		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanSchedule, obs.SpanPass, schedDur.Seconds()))
+		cluster.EmitStepSpans(sink, at, passID, res.Timings)
+		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanActuate, obs.SpanPass, actDur.Seconds()))
+		for i, ns := range c.nodes {
+			if polls[i].ok {
+				sink.Emit(rpcSpan(at, passID, ns.spec.Name, obs.SpanRPCCounters, passStart, polls[i].rpc))
+			}
+			if acked[i] {
+				sink.Emit(rpcSpan(at, passID, ns.spec.Name, obs.SpanRPCActuate, actStart, actRPC[i]))
+			}
+		}
+		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanPass, "", time.Since(passStart).Seconds()))
 	}
 
 	c.clock.Tick()
 	return nil
+}
+
+// rpcSpan renders one node RPC as an rpc:* span: queue is how long the
+// request waited behind earlier phase work before its winning attempt was
+// sent (measured from phaseStart), apply is the agent's self-reported
+// service time, and wire is the measured round-trip minus apply, clamped
+// at zero in case the two clocks disagree at microsecond scale.
+func rpcSpan(at float64, passID uint64, node, name string, phaseStart time.Time, rt rpcTime) obs.Event {
+	queue := rt.sentAt.Sub(phaseStart).Seconds()
+	if queue < 0 {
+		queue = 0
+	}
+	wire := rt.rtt.Seconds() - rt.service
+	if wire < 0 {
+		wire = 0
+	}
+	return obs.RPCSpanEvent(at, passID, node, name, rt.rtt.Seconds(), queue, wire, rt.service)
 }
 
 // Run drives rounds until the coordinator epoch reaches t seconds.

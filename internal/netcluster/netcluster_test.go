@@ -205,7 +205,7 @@ func TestAgentErrorIsTerminal(t *testing.T) {
 	// must surface it as an AgentError without burning retries or the
 	// connection.
 	ns := c.nodes[0]
-	_, err = c.rpc(ns, proto.KindActuate, func(id uint64) *proto.Message {
+	_, _, err = c.rpc(ns, proto.KindActuate, func(id uint64) *proto.Message {
 		return &proto.Message{Kind: proto.KindActuate, ID: id, Actuate: &proto.Actuate{FreqsMHz: []float64{1000}}}
 	})
 	var ae *AgentError
@@ -218,7 +218,7 @@ func TestAgentErrorIsTerminal(t *testing.T) {
 	if ns.conn == nil {
 		t.Fatal("semantic rejection cost the connection")
 	}
-	if _, err := c.rpc(ns, proto.KindHeartbeat, func(id uint64) *proto.Message {
+	if _, _, err := c.rpc(ns, proto.KindHeartbeat, func(id uint64) *proto.Message {
 		return &proto.Message{Kind: proto.KindHeartbeat, ID: id}
 	}); err != nil {
 		t.Fatalf("heartbeat after rejection: %v", err)

@@ -70,6 +70,17 @@ type Message struct {
 	Now float64 `json:"now,omitempty"`
 	// Error is the failure reason on KindError messages.
 	Error string `json:"error,omitempty"`
+	// Trace carries the coordinator's trace context on requests; agents
+	// echo it verbatim on the matching acknowledgement so a packet capture
+	// or agent log attributes every frame to its scheduling pass. Version
+	// stays 1: unknown fields are ignored by old readers, so the addition
+	// is wire-compatible in both directions.
+	Trace *TraceContext `json:"trace,omitempty"`
+	// ServiceSec is the agent's wall-clock handling time for the request
+	// this message acknowledges (receive→send), set on every ack. The
+	// coordinator subtracts it from the measured round-trip to split wire
+	// time from apply time in the per-node rpc:* spans.
+	ServiceSec float64 `json:"service_sec,omitempty"`
 
 	Hello          *Hello          `json:"hello,omitempty"`
 	Capabilities   *Capabilities   `json:"capabilities,omitempty"`
@@ -77,6 +88,14 @@ type Message struct {
 	CounterReport  *CounterReport  `json:"counter_report,omitempty"`
 	Actuate        *Actuate        `json:"actuate,omitempty"`
 	ActuateAck     *ActuateAck     `json:"actuate_ack,omitempty"`
+}
+
+// TraceContext is the causal-span context propagated on requests: the
+// scheduling pass the request belongs to. IDs count passes from the
+// coordinator's engine-clock epoch (pass k fires at epoch time (k−1)·T),
+// matching obs.Event.PassID, so trace files from both ends join on it.
+type TraceContext struct {
+	PassID uint64 `json:"pass"`
 }
 
 // Hello is the coordinator's session-opening request. Re-sent on every

@@ -37,6 +37,41 @@ const (
 	// renewal: the cluster falls back to its floor budget on its own, the
 	// farm-level analogue of the node agent failsafe.
 	EventLeaseExpire = "lease-expire"
+	// EventSpan is one timed phase of a scheduling or reallocation pass.
+	// Spans form a two-level causal tree per pass: a "pass" root plus
+	// children ("grid-fill", "step1"…, "poll", "rpc:actuate"…) that share
+	// the root's PassID; Parent names the enclosing span. At is simulated
+	// time (the pass epoch); DurS and the RPC breakdown are wall-clock.
+	EventSpan = "span"
+)
+
+// Span names emitted by the schedulers and coordinators. The per-pass
+// tree is flat-encoded: every span event carries the pass's ID, so a
+// trace consumer groups by (PassID, Node) and orders by name.
+const (
+	// SpanPass is the root span covering one whole scheduling pass.
+	SpanPass = "pass"
+	// SpanGridFill is the prediction-grid fill (decompose + per-frequency
+	// sweep) portion of Step 1.
+	SpanGridFill = "grid-fill"
+	// SpanStepOne is the Step-1 ε-choice excluding the grid fill.
+	SpanStepOne = "step1"
+	// SpanStepTwo is the Step-2 budget fit.
+	SpanStepTwo = "step2"
+	// SpanStepThree is the Step-3 voltage assignment.
+	SpanStepThree = "step3"
+	// SpanActuate is frequency actuation (local machine or RPC fan-out).
+	SpanActuate = "actuate"
+	// SpanPoll is the networked coordinator's heartbeat + counter fan-out.
+	SpanPoll = "poll"
+	// SpanSchedule is the networked coordinator's global core pass.
+	SpanSchedule = "schedule"
+	// SpanRPCCounters / SpanRPCActuate are one node's RPC round-trips,
+	// with the queue/wire/apply latency breakdown filled in.
+	SpanRPCCounters = "rpc:counters"
+	SpanRPCActuate  = "rpc:actuate"
+	// SpanAlloc is one farm-level reallocation pass.
+	SpanAlloc = "alloc"
 )
 
 // Event is one structured trace record. A single flat type covers all
@@ -49,6 +84,25 @@ type Event struct {
 	At float64 `json:"t"`
 	// Node names the emitting cluster node, empty on a single machine.
 	Node string `json:"node,omitempty"`
+	// PassID correlates everything one scheduling/reallocation pass
+	// produced: the schedule event, its spans, and (over the wire) the
+	// agent-side acknowledgements. IDs count passes from the engine clock
+	// epoch — pass k fires at epoch time (k−1)·T — so the ID doubles as
+	// the pass's position in simulated time. 0 means unattributed.
+	PassID uint64 `json:"pass,omitempty"`
+
+	// Span fields (EventSpan): the span name, its parent span name within
+	// the same pass, and the wall-clock duration. QueueS/WireS/ApplyS are
+	// the RPC latency breakdown on rpc:* spans: time queued behind the
+	// pass phases before the request was sent, time on the wire (measured
+	// round-trip minus the agent's reported service time), and the
+	// agent-side service/apply time.
+	Span   string  `json:"span,omitempty"`
+	Parent string  `json:"parent,omitempty"`
+	DurS   float64 `json:"dur_s,omitempty"`
+	QueueS float64 `json:"queue_s,omitempty"`
+	WireS  float64 `json:"wire_s,omitempty"`
+	ApplyS float64 `json:"apply_s,omitempty"`
 
 	// Schedule-pass fields.
 	Trigger      string          `json:"trigger,omitempty"`

@@ -86,6 +86,13 @@ func escapeLabel(v string) string {
 	return strings.ReplaceAll(v, `"`, `\"`)
 }
 
+// escapeHelp escapes a HELP line per the 0.0.4 exposition format:
+// backslash and newline only — quotes stay literal on HELP lines.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 // labelPairs renders {k="v",...}; extra appends one more pair (used for
 // the histogram le label). Returns "" for no labels.
 func labelPairs(names, values []string, extraName, extraValue string) string {
@@ -107,7 +114,7 @@ func labelPairs(names, values []string, extraName, extraValue string) string {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range r.Snapshot() {
 		if f.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
 				return err
 			}
 		}

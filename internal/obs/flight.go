@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// FlightRecorder is a bounded in-memory sink: a fixed-size ring of the
+// most recent trace events plus fixed-size rings of per-quantum series
+// (per-node power, charged-vs-budget, demotion counts, pass latency).
+// It is the post-mortem layer — always attached, never growing — whose
+// snapshot is dumped when an invariant check fires, so a failure ships
+// the seconds of history that led up to it.
+//
+// After warm-up (rings full, every node key seen) Emit performs zero
+// heap allocations: events are shallow-copied into preallocated slots
+// and series points overwrite ring positions in place. Shallow copies
+// are safe because producers build each emitted event's slices fresh;
+// consumers of Snapshot must not mutate them.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	total  uint64
+
+	seriesCap int
+	nodePower map[string]*SeriesRing
+	charged   *SeriesRing
+	budget    *SeriesRing
+	demotions *SeriesRing
+	passLat   *SeriesRing
+}
+
+// SeriesRing is one bounded (time, value) series.
+type SeriesRing struct {
+	name  string
+	t, v  []float64
+	next  int
+	total uint64
+}
+
+func newSeriesRing(name string, capacity int) *SeriesRing {
+	return &SeriesRing{name: name, t: make([]float64, 0, capacity), v: make([]float64, 0, capacity)}
+}
+
+func (s *SeriesRing) append(t, v float64) {
+	if len(s.t) < cap(s.t) {
+		s.t = append(s.t, t)
+		s.v = append(s.v, v)
+	} else {
+		s.t[s.next] = t
+		s.v[s.next] = v
+	}
+	s.next = (s.next + 1) % cap(s.t)
+	s.total++
+}
+
+// points returns the retained samples oldest-first.
+func (s *SeriesRing) points() [][2]float64 {
+	n := len(s.t)
+	out := make([][2]float64, 0, n)
+	start := 0
+	if s.total > uint64(n) {
+		start = s.next
+	}
+	for i := 0; i < n; i++ {
+		j := (start + i) % n
+		out = append(out, [2]float64{s.t[j], s.v[j]})
+	}
+	return out
+}
+
+// DefaultFlightEvents and DefaultFlightSamples size the recorder for a
+// few seconds of cluster history at default cadence.
+const (
+	DefaultFlightEvents  = 256
+	DefaultFlightSamples = 512
+)
+
+// NewFlightRecorder builds a recorder retaining the last eventCap events
+// and sampleCap points per series. Non-positive capacities select the
+// defaults.
+func NewFlightRecorder(eventCap, sampleCap int) *FlightRecorder {
+	if eventCap <= 0 {
+		eventCap = DefaultFlightEvents
+	}
+	if sampleCap <= 0 {
+		sampleCap = DefaultFlightSamples
+	}
+	return &FlightRecorder{
+		events:    make([]Event, 0, eventCap),
+		seriesCap: sampleCap,
+		nodePower: make(map[string]*SeriesRing),
+		charged:   newSeriesRing("charged_w", sampleCap),
+		budget:    newSeriesRing("budget_w", sampleCap),
+		demotions: newSeriesRing("demotions", sampleCap),
+		passLat:   newSeriesRing("pass_latency_s", sampleCap),
+	}
+}
+
+// Emit records the event and folds it into the per-quantum series.
+func (f *FlightRecorder) Emit(e Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.events) < cap(f.events) {
+		f.events = append(f.events, e)
+	} else {
+		f.events[f.next] = e
+	}
+	f.next = (f.next + 1) % cap(f.events)
+	f.total++
+
+	switch e.Type {
+	case EventQuantum:
+		s, ok := f.nodePower[e.Node]
+		if !ok {
+			// The empty node is the machine/cluster aggregate row, same
+			// convention as the Ledger.
+			name := "power_w"
+			if e.Node != "" {
+				name = "power_w:" + e.Node
+			}
+			s = newSeriesRing(name, f.seriesCap)
+			f.nodePower[e.Node] = s
+		}
+		s.append(e.At, e.CPUPowerW)
+	case EventSchedule:
+		charged := e.ChargedW
+		if charged == 0 {
+			charged = e.TablePowerW
+		}
+		f.charged.append(e.At, charged)
+		f.budget.append(e.At, e.BudgetW)
+		f.demotions.append(e.At, float64(len(e.Demotions)))
+	case EventSpan:
+		if e.Span == SpanPass {
+			f.passLat.append(e.At, e.DurS)
+		}
+	}
+}
+
+// FlightSeries is one series of a snapshot, points oldest-first.
+type FlightSeries struct {
+	Name   string       `json:"name"`
+	Total  uint64       `json:"total"`
+	Points [][2]float64 `json:"points"`
+}
+
+// FlightSnapshot is a frozen copy of the recorder's state.
+type FlightSnapshot struct {
+	// TotalEvents counts every event ever emitted; len(Events) is what
+	// the ring retained.
+	TotalEvents uint64         `json:"total_events"`
+	Events      []Event        `json:"events"`
+	Series      []FlightSeries `json:"series"`
+}
+
+// Snapshot freezes the current state: events oldest-first, series in
+// deterministic (fixed, then node-name-sorted) order.
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snap := FlightSnapshot{TotalEvents: f.total}
+	n := len(f.events)
+	snap.Events = make([]Event, 0, n)
+	start := 0
+	if f.total > uint64(n) {
+		start = f.next
+	}
+	for i := 0; i < n; i++ {
+		snap.Events = append(snap.Events, f.events[(start+i)%n])
+	}
+	for _, s := range []*SeriesRing{f.budget, f.charged, f.demotions, f.passLat} {
+		if s.total > 0 {
+			snap.Series = append(snap.Series, FlightSeries{Name: s.name, Total: s.total, Points: s.points()})
+		}
+	}
+	nodes := make([]string, 0, len(f.nodePower))
+	for n := range f.nodePower {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		s := f.nodePower[n]
+		snap.Series = append(snap.Series, FlightSeries{Name: s.name, Total: s.total, Points: s.points()})
+	}
+	return snap
+}
+
+// DumpJSON writes the snapshot as indented JSON — the post-mortem file
+// an invariant violation ships.
+func (f *FlightRecorder) DumpJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.Snapshot())
+}

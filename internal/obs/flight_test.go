@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	f := NewFlightRecorder(4, 3)
+	for i := 0; i < 10; i++ {
+		f.Emit(Event{Type: EventQuantum, At: float64(i), Node: "n0", CPUPowerW: float64(100 + i)})
+	}
+	snap := f.Snapshot()
+	if snap.TotalEvents != 10 {
+		t.Errorf("TotalEvents = %d, want 10", snap.TotalEvents)
+	}
+	if len(snap.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(snap.Events))
+	}
+	for i, e := range snap.Events {
+		if want := float64(6 + i); e.At != want {
+			t.Errorf("event %d at %v, want %v (oldest-first)", i, e.At, want)
+		}
+	}
+	if len(snap.Series) != 1 {
+		t.Fatalf("series = %d, want 1 (power only)", len(snap.Series))
+	}
+	s := snap.Series[0]
+	if s.Name != "power_w:n0" || s.Total != 10 || len(s.Points) != 3 {
+		t.Fatalf("series %q total %d points %d", s.Name, s.Total, len(s.Points))
+	}
+	if s.Points[0][0] != 7 || s.Points[2][0] != 9 {
+		t.Errorf("points out of order: %v", s.Points)
+	}
+}
+
+func TestFlightRecorderSeriesRouting(t *testing.T) {
+	f := NewFlightRecorder(0, 0)
+	f.Emit(Event{Type: EventSchedule, At: 1, Trigger: "timer", BudgetW: 300, ChargedW: 280,
+		Demotions: []DemotionTrace{{CPU: 0}, {CPU: 1}}})
+	f.Emit(Event{Type: EventSchedule, At: 2, Trigger: "timer", BudgetW: 300, TablePowerW: 250})
+	f.Emit(Event{Type: EventSpan, At: 1, PassID: 1, Span: SpanPass, DurS: 0.004})
+	f.Emit(Event{Type: EventSpan, At: 1, PassID: 1, Span: SpanStepTwo, Parent: SpanPass, DurS: 0.001})
+	f.Emit(Event{Type: EventQuantum, At: 1.5, Node: "a", CPUPowerW: 90})
+	f.Emit(Event{Type: EventQuantum, At: 1.5, Node: "b", CPUPowerW: 80})
+
+	snap := f.Snapshot()
+	got := map[string]FlightSeries{}
+	for _, s := range snap.Series {
+		got[s.Name] = s
+	}
+	if s := got["budget_w"]; s.Total != 2 || s.Points[0][1] != 300 {
+		t.Errorf("budget_w = %+v", s)
+	}
+	// Charged falls back to table power when ChargedW is unset.
+	if s := got["charged_w"]; s.Total != 2 || s.Points[0][1] != 280 || s.Points[1][1] != 250 {
+		t.Errorf("charged_w = %+v", s)
+	}
+	if s := got["demotions"]; s.Points[0][1] != 2 || s.Points[1][1] != 0 {
+		t.Errorf("demotions = %+v", s)
+	}
+	// Only the pass root feeds the latency series.
+	if s := got["pass_latency_s"]; s.Total != 1 || s.Points[0][1] != 0.004 {
+		t.Errorf("pass_latency_s = %+v", s)
+	}
+	if _, ok := got["power_w:a"]; !ok {
+		t.Errorf("missing power series: %v", snap.Series)
+	}
+
+	var buf bytes.Buffer
+	if err := f.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back FlightSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("dump not valid JSON: %v", err)
+	}
+	if back.TotalEvents != snap.TotalEvents || len(back.Events) != len(snap.Events) {
+		t.Errorf("dump round-trip lost events: %d/%d", back.TotalEvents, len(back.Events))
+	}
+}
+
+// TestFlightRecorderSteadyStateAllocs pins the flight recorder's always-on
+// guarantee: after warm-up (rings full, node keys seen) Emit allocates
+// nothing.
+func TestFlightRecorderSteadyStateAllocs(t *testing.T) {
+	f := NewFlightRecorder(8, 8)
+	quantum := Event{Type: EventQuantum, At: 1, Node: "n0", CPUPowerW: 100}
+	sched := Event{Type: EventSchedule, At: 1, Trigger: "timer", BudgetW: 300, ChargedW: 290}
+	span := Event{Type: EventSpan, At: 1, PassID: 1, Span: SpanPass, DurS: 0.001}
+	for i := 0; i < 32; i++ { // warm up: fill every ring, create the node series
+		f.Emit(quantum)
+		f.Emit(sched)
+		f.Emit(span)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		f.Emit(quantum)
+		f.Emit(sched)
+		f.Emit(span)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Emit allocates %v times per cycle, want 0", allocs)
+	}
+}

@@ -1,9 +1,13 @@
 package scenario
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestDifferentialFaultFree runs ≥20 fault-free seeds through both the
@@ -112,6 +116,52 @@ func TestSoakSabotage(t *testing.T) {
 	}
 	if !shrunk {
 		t.Fatal("no failing seed carried a shrunk reproducer")
+	}
+}
+
+// TestSoakFlightDump: with DumpDir set, every violating cluster seed
+// writes a flight-recorder snapshot whose ring still holds the violating
+// pass (a schedule event with the violation's pass ID).
+func TestSoakFlightDump(t *testing.T) {
+	dir := t.TempDir()
+	rep := Soak(SoakConfig{Seeds: 4, Parallel: 2, Sabotage: SabotageStepTwoInvert, DumpDir: dir})
+	if rep.OK {
+		t.Fatal("sabotaged soak reported OK")
+	}
+	dumped := 0
+	for _, r := range rep.Results {
+		if len(r.Violations) == 0 {
+			continue
+		}
+		if r.FlightDump == "" {
+			t.Fatalf("violating seed %d has no flight dump", r.Seed)
+		}
+		data, err := os.ReadFile(r.FlightDump)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap obs.FlightSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			t.Fatalf("seed %d dump: %v", r.Seed, err)
+		}
+		// The ring keeps the most recent events, so at minimum the last
+		// violation's pass — matched by simulated time — must still be
+		// present, with a pass ID joining it to its span tree.
+		last := r.Violations[len(r.Violations)-1]
+		found := false
+		for _, e := range snap.Events {
+			if e.Type == obs.EventSchedule && e.At == last.At && e.PassID > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d dump is missing the violating pass at t=%v", r.Seed, last.At)
+		}
+		dumped++
+	}
+	if dumped == 0 {
+		t.Fatal("no violating seed produced a flight dump")
 	}
 }
 

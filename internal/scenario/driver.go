@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/counters"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/fvsst"
 	"repro/internal/invariant"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -36,6 +38,12 @@ type Options struct {
 	// Checkers overrides the pass-level checker set (nil → the default
 	// suite). Ledger checks always run.
 	Checkers []invariant.Checker
+	// Sink, when set, receives the run's trace events: one schedule event
+	// and span tree per round plus per-node quantum power samples. The
+	// soak harness attaches an obs.FlightRecorder here so a violating
+	// seed ships its own post-mortem. Events never influence the
+	// deterministic Text/Hash.
+	Sink obs.Sink
 }
 
 func (o Options) suite() *invariant.Suite {
@@ -157,6 +165,7 @@ func RunCluster(spec Spec, opt Options) (*RunResult, error) {
 		}
 	}
 	table := fcfg.Table
+	core.SetPhaseTiming(opt.Sink != nil)
 	period := float64(spec.SchedulePeriods) * quantum
 	clock := engine.NewSimClock(period)
 	budget := source.BudgetAt(0)
@@ -165,6 +174,10 @@ func RunCluster(spec Spec, opt Options) (*RunResult, error) {
 
 	for round := 0; round < spec.Rounds; round++ {
 		now := clock.Now()
+		var passStart time.Time
+		if opt.Sink != nil {
+			passStart = time.Now()
+		}
 		trigger := "timer"
 		if want := source.BudgetAt(now); want != budget {
 			budget = want
@@ -291,6 +304,35 @@ func RunCluster(spec Spec, opt Options) (*RunResult, error) {
 		// both drivers compute it through the same flat accumulation in
 		// core.Schedule, so the traces stay bit-comparable.
 		res.Trace = append(res.Trace, roundTrace(round, now, trigger, budget, pass.TablePower, reserved, charged, degraded, inputs, pass))
+
+		if opt.Sink != nil {
+			passID := uint64(round + 1)
+			ev := cluster.PassEvent(now, trigger, budget, inputs, pass)
+			ev.PassID = passID
+			ev.ChargedW = charged.W()
+			ev.ReservedW = reserved.W()
+			ev.HeadroomW = (budget - charged).W()
+			ev.BudgetMissed = charged > budget
+			opt.Sink.Emit(ev)
+			var totalPower float64
+			for i, n := range nodes {
+				if !live[i] {
+					continue
+				}
+				p := n.m.TotalCPUPower().W()
+				totalPower += p
+				opt.Sink.Emit(obs.Event{
+					Type: obs.EventQuantum, At: now, PassID: passID,
+					Node: n.name, CPUPowerW: p,
+				})
+			}
+			opt.Sink.Emit(obs.Event{
+				Type: obs.EventQuantum, At: now, PassID: passID,
+				BudgetW: budget.W(), CPUPowerW: totalPower,
+			})
+			cluster.EmitStepSpans(opt.Sink, now, passID, pass.Timings)
+			opt.Sink.Emit(obs.SpanEvent(now, passID, "", obs.SpanPass, "", time.Since(passStart).Seconds()))
+		}
 
 		if ups != nil {
 			if err := ups.Drain(charged, period); err != nil {

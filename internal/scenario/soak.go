@@ -2,10 +2,13 @@ package scenario
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/invariant"
+	"repro/internal/obs"
 )
 
 // SoakConfig sizes one soak campaign.
@@ -33,6 +36,11 @@ type SoakConfig struct {
 	// ShrinkMax caps candidate runs when shrinking a failing cluster seed
 	// to a minimal reproducer. 0 disables shrinking.
 	ShrinkMax int `json:"shrink_max,omitempty"`
+	// DumpDir, when set, receives a flight-recorder snapshot
+	// (flight-cluster-seed<N>.json) for every cluster seed whose invariant
+	// suite fires, so the violating pass ships with its recent event and
+	// series history. Empty disables dumps.
+	DumpDir string `json:"dump_dir,omitempty"`
 }
 
 // Seed ranges per job kind, decorrelated so `-seeds N -diff M` never
@@ -57,10 +65,13 @@ type SeedResult struct {
 	InWindowDiffs int          `json:"in_window_diffs,omitempty"`
 	Divergences   []Divergence `json:"divergences,omitempty"`
 	// Shrunk is the minimal reproducer found for a failing cluster seed.
-	Shrunk         *Spec  `json:"shrunk,omitempty"`
-	ShrinkAttempts int    `json:"shrink_attempts,omitempty"`
-	Skipped        bool   `json:"skipped,omitempty"`
-	Err            string `json:"err,omitempty"`
+	Shrunk         *Spec `json:"shrunk,omitempty"`
+	ShrinkAttempts int   `json:"shrink_attempts,omitempty"`
+	// FlightDump is the path of the flight-recorder snapshot written for a
+	// violating cluster seed (DumpDir set).
+	FlightDump string `json:"flight_dump,omitempty"`
+	Skipped    bool   `json:"skipped,omitempty"`
+	Err        string `json:"err,omitempty"`
 }
 
 // SoakReport is the full campaign outcome, assembled in deterministic
@@ -168,6 +179,11 @@ func Soak(cfg SoakConfig) *SoakReport {
 func runClusterJob(res *SeedResult, cfg SoakConfig) {
 	spec := Generate(res.Seed)
 	opt := Options{Sabotage: cfg.Sabotage}
+	var rec *obs.FlightRecorder
+	if cfg.DumpDir != "" {
+		rec = obs.NewFlightRecorder(0, 0)
+		opt.Sink = rec
+	}
 	var last *RunResult
 	det := invariant.CheckDeterminism(fmt.Sprintf("cluster seed %d", res.Seed), func() (string, error) {
 		r, err := RunCluster(spec, opt)
@@ -183,6 +199,15 @@ func runClusterJob(res *SeedResult, cfg SoakConfig) {
 	}
 	res.Rounds, res.Hash = last.Rounds, last.Hash
 	res.Violations = append(last.Violations, det...)
+	if len(res.Violations) > 0 && rec != nil {
+		path := filepath.Join(cfg.DumpDir, fmt.Sprintf("flight-cluster-seed%d.json", res.Seed))
+		if f, err := os.Create(path); err == nil {
+			if err := rec.DumpJSON(f); err == nil {
+				res.FlightDump = path
+			}
+			f.Close()
+		}
+	}
 	if len(res.Violations) == 0 || cfg.ShrinkMax <= 0 {
 		return
 	}
