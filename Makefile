@@ -29,14 +29,16 @@ experiments:
 # runner at 1 vs 4 workers, then BENCH_hotpath.json, the farm allocator's
 # reallocation-pass cost + farm-powerfail wall-clock in BENCH_farm.json,
 # the tracing overhead in BENCH_obs.json (fails if the no-sink hot path
-# allocates), and per-experiment wall-clock/allocation stats in
-# BENCH_experiments.json.
+# allocates), the request-serving quantum in BENCH_serve.json (fails if
+# the steady-state serving or admission path allocates), and
+# per-experiment wall-clock/allocation stats in BENCH_experiments.json.
 bench:
 	$(GO) test -bench 'SchedulePass|MachineStep|RunAll' -benchmem \
 		./internal/fvsst/ ./internal/machine/ ./internal/experiments/
 	$(GO) run ./cmd/experiments hotpath
 	$(GO) run ./cmd/experiments farmbench
 	$(GO) run ./cmd/experiments obsbench
+	$(GO) run ./cmd/experiments servebench
 	$(GO) run ./cmd/experiments -scale 0.05 -parallel 4 \
 		-bench-out BENCH_experiments.json all > /dev/null
 	@echo "(written to BENCH_experiments.json)"
@@ -53,12 +55,14 @@ examples:
 	$(GO) run ./examples/serverfarm
 
 # Short fuzz sessions over the parsers, the profile loader, the farm
-# budget-schedule parser, and the wire-frame decoder.
+# budget-schedule parser, the arrival-spec parser, and the wire-frame
+# decoder.
 fuzz:
 	$(GO) test -fuzz FuzzParseFrequency -fuzztime 30s ./internal/units/
 	$(GO) test -fuzz FuzzParsePower -fuzztime 30s ./internal/units/
 	$(GO) test -fuzz FuzzLoadProgram -fuzztime 30s ./internal/workload/
 	$(GO) test -fuzz FuzzParseScheduleSpec -fuzztime 30s ./internal/farm/
+	$(GO) test -fuzz FuzzParseArrivalSpec -fuzztime 30s ./internal/serve/
 	$(GO) test -fuzz FuzzRecvFrame -fuzztime 30s ./internal/netcluster/proto/
 
 # Randomized invariant soak: generated scenarios through the in-process

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [flags] [list | all | hotpath | farmbench | obsbench | soak | report | <id>...]
+//	experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | soak | report | <id>...]
 //
 // The experiment ids, their descriptions and the usage text all come from
 // the registry in internal/experiments (run `experiments list` to see
@@ -17,7 +17,9 @@
 // subcommand benchmarks the scheduler's steady-state hot path instead of
 // running experiments; `farmbench` does the same for the farm allocator's
 // reallocation pass plus the farm-powerfail study's wall-clock; `obsbench`
-// pins the tracing overhead (the no-sink path must stay at 0 allocs/op).
+// pins the tracing overhead (the no-sink path must stay at 0 allocs/op);
+// `servebench` pins the request-serving quantum (steady-state serving and
+// admission must also stay at 0 allocs/op).
 // `report` renders the energy & compliance ledger from a JSONL trace.
 package main
 
@@ -36,7 +38,7 @@ import (
 
 func usage() {
 	w := flag.CommandLine.Output()
-	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | obsbench | soak | report | <id>...]\n\nExperiments:\n")
+	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | soak | report | <id>...]\n\nExperiments:\n")
 	for _, s := range experiments.Registry() {
 		fmt.Fprintf(w, "  %-12s %s\n", s.ID, s.Desc)
 	}
@@ -91,6 +93,12 @@ func main() {
 	case "obsbench":
 		if err := runObsbench(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "obsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "servebench":
+		if err := runServebench(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/memhier"
+	"repro/internal/serve"
+)
+
+// serveWorld builds the steady-state serving benchmark world: a 2-CPU
+// machine serving two classes of Poisson/Gamma traffic at moderate
+// utilisation, pre-run until queues, histogram buckets and rings are
+// warm. It mirrors internal/serve's benchWorld so the CI guard and the
+// package benchmarks measure the same path.
+func serveWorld() (*machine.Machine, *serve.Station, *serve.Feeder, error) {
+	cfg := machine.P630Config()
+	cfg.NumCPUs = 2
+	cfg.LatencyJitterSigma = 0
+	cfg.MeterNoiseSigma = 0
+	cfg.Contention = memhier.Contention{}
+	cfg.ThrottleSettle = 0
+	cfg.Seed = 21
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st, err := serve.NewStation(m, serve.Config{
+		Classes: []serve.Class{
+			{Name: "web", Phase: serve.PhaseProfile(1.3, 0.002), MeanInstr: 2e6, SizeCV: 1,
+				SLO: 0.060, Timeout: 0.5, Priority: 1, QueueCap: 512},
+			{Name: "batch", Phase: serve.PhaseProfile(1.1, 0.004), MeanInstr: 8e6, SizeCV: 1,
+				SLO: 0.400, QueueCap: 512, AdmitRate: 200, AdmitBurst: 50},
+		},
+		Clients: 4,
+		Seed:    38,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	feeder := &serve.Feeder{}
+	for cl := 0; cl < 4; cl++ {
+		spec, err := serve.ParseArrivalSpec("gamma:120,cv=1.5")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		stm, err := spec.NewStream(300 + int64(cl))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		feeder.Add(cl%2, cl, stm)
+	}
+	for q := 0; q < 200; q++ {
+		feeder.DeliverUpTo(m.Now(), st)
+		st.BeforeQuantum(m.Now())
+		m.Step()
+		st.AfterQuantum(m.Now())
+	}
+	return m, st, feeder, nil
+}
+
+// runServebench benchmarks the request-serving hot path and writes
+// BENCH_serve.json (or the -bench-out override). The steady-state
+// quantum row is a contract: the per-request path (admission, queueing,
+// dispatch via the completion hook, latency scoring) must allocate
+// nothing, or every serving simulation pays GC for the subsystem.
+func runServebench(outPath string) error {
+	if outPath == "" {
+		outPath = "BENCH_serve.json"
+	}
+	m, st, feeder, err := serveWorld()
+	if err != nil {
+		return err
+	}
+
+	var results []hotpathResult
+	add := func(name string, r testing.BenchmarkResult) {
+		results = append(results, hotpathResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+
+	add("ServeQuantum/steady-state", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			feeder.DeliverUpTo(m.Now(), st)
+			st.BeforeQuantum(m.Now())
+			m.Step()
+			st.AfterQuantum(m.Now())
+		}
+	}))
+	add("Offer", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		now := m.Now()
+		for i := 0; i < b.N; i++ {
+			st.Offer(now, 0, 0)
+			if st.QueueLen(0) >= 256 {
+				b.StopTimer()
+				for st.QueueLen(0) > 0 {
+					st.BeforeQuantum(m.Now())
+					m.Step()
+					st.AfterQuantum(m.Now())
+				}
+				now = m.Now()
+				b.StartTimer()
+			}
+		}
+	}))
+	// Summarize is the cold reporting path — allowed to allocate, but its
+	// cost is worth watching because the soak harness calls it per seed.
+	add("Scoreboard.Summarize", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st.Scoreboard().Summarize(m.Now())
+		}
+	}))
+
+	if st.Scoreboard().Summarize(m.Now()).Classes[0].Completed == 0 {
+		return fmt.Errorf("benchmark world served nothing — hot path not exercised")
+	}
+	if a := results[0].AllocsPerOp; a != 0 {
+		return fmt.Errorf("steady-state serve quantum allocates %d allocs/op, want 0", a)
+	}
+	if a := results[1].AllocsPerOp; a != 0 {
+		return fmt.Errorf("Offer allocates %d allocs/op, want 0", a)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-26s %12.0f ns/op %6d B/op %4d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("(written to %s)\n", outPath)
+	return nil
+}

@@ -108,6 +108,11 @@ type Coordinator struct {
 	// passID counts global passes from the engine clock epoch; it stamps
 	// the pass's schedule event and spans (obs.Event.PassID).
 	passID uint64
+	// beforeQuantum/afterQuantum bracket the lockstep machine stepping —
+	// the hook serving stations use to deliver arrivals and expire
+	// timeouts per node (see SetQuantumHook).
+	beforeQuantum func(now float64)
+	afterQuantum  func(now float64)
 }
 
 // New builds a coordinator over the nodes with a global processor power
@@ -170,6 +175,18 @@ func (c *Coordinator) Nodes() []*Node { return c.nodes }
 func (c *Coordinator) SetSink(sink obs.Sink) {
 	c.sink = sink
 	c.core.SetPhaseTiming(sink != nil)
+}
+
+// SetQuantumHook brackets every Step's machine advance: before runs
+// just ahead of the lockstep node stepping (with the pre-step time),
+// after just behind it (with the post-step time). Request-serving
+// stations hang off this hook — before delivers matured arrivals and
+// starts idle CPUs, after expires queue-wait timeouts and emits serve
+// events — so open workloads ride under a coordinator without the
+// coordinator knowing about queues. Either function may be nil.
+func (c *Coordinator) SetQuantumHook(before, after func(now float64)) {
+	c.beforeQuantum = before
+	c.afterQuantum = after
 }
 
 // SetBudgetSource drives the global budget from a farm.BudgetSource
@@ -244,6 +261,9 @@ func (c *Coordinator) Step() error {
 	}
 	c.pending = kept
 
+	if c.beforeQuantum != nil {
+		c.beforeQuantum(c.loop.Now())
+	}
 	for _, n := range c.nodes {
 		n.M.Step()
 		if err := n.sampler.Collect(); err != nil {
@@ -251,6 +271,9 @@ func (c *Coordinator) Step() error {
 		}
 	}
 	due := c.loop.Tick()
+	if c.afterQuantum != nil {
+		c.afterQuantum(c.loop.Now())
+	}
 
 	if c.sink != nil {
 		c.sink.Emit(obs.Event{

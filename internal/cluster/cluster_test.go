@@ -275,3 +275,30 @@ func TestTieredClusterConstruction(t *testing.T) {
 		t.Errorf("tiered cluster power %v over cap", got)
 	}
 }
+
+func TestQuantumHookBracketsStepping(t *testing.T) {
+	c := newTwoNodeCluster(t, 400)
+	var log []string
+	c.SetQuantumHook(
+		func(now float64) { log = append(log, "before") },
+		func(now float64) { log = append(log, "after") },
+	)
+	for i := 0; i < 3; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(log) != 6 {
+		t.Fatalf("hook calls = %d, want 6", len(log))
+	}
+	for i := 0; i < len(log); i += 2 {
+		if log[i] != "before" || log[i+1] != "after" {
+			t.Fatalf("hook order wrong at %d: %v", i, log)
+		}
+	}
+	// Nil hooks are allowed (and the default).
+	c.SetQuantumHook(nil, nil)
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -91,6 +91,12 @@ func Registry() []Spec {
 		{"farm-powerfail", "Farm power-fail: supply failure onto UPS runway governor, hierarchical vs equal-split vs uniform", func(o Options) (Report, error) {
 			return report(FarmPowerFail(o))
 		}},
+		{"serve-diurnal-drop", "Serve diurnal drop: open-loop SLO classes through a budget drop, fvsst vs uniform", func(o Options) (Report, error) {
+			return report(ServeDiurnalDrop(o))
+		}},
+		{"serve-hotspot", "Serve hotspot: hot/cold clusters under a farm budget, hierarchical vs equal-split", func(o Options) (Report, error) {
+			return report(ServeHotspot(o))
+		}},
 	}
 }
 

@@ -16,6 +16,7 @@ type Metrics struct {
 
 	allocated     *obs.GaugeVec // cluster
 	used          *obs.GaugeVec // cluster
+	backlog       *obs.GaugeVec // cluster
 	globalBudget  *obs.Gauge
 	charged       *obs.Gauge
 	runway        *obs.Gauge
@@ -34,6 +35,8 @@ func NewMetricsInto(r *obs.Registry) *Metrics {
 			"Budget leased to (or still charged for) each cluster after the last pass.", "cluster"),
 		used: r.Gauge("farm_cluster_used_watts",
 			"Actual aggregate processor power drawn by each cluster.", "cluster"),
+		backlog: r.Gauge("farm_cluster_backlog_requests",
+			"Queued plus in-service serving requests per cluster (serving workloads only).", "cluster"),
 		globalBudget: r.Gauge("farm_budget_watts",
 			"Global budget from the active source at the last pass.").With(),
 		charged: r.Gauge("farm_charged_watts",
@@ -63,6 +66,16 @@ func (m *Metrics) SetUsed(cluster string, p units.Power) {
 		return
 	}
 	m.used.With(cluster).Set(p.W())
+}
+
+// SetBacklog records a cluster's serving backlog (queued plus in-service
+// requests) — the demand signal the request-level serving harness exposes
+// to farm-level dashboards.
+func (m *Metrics) SetBacklog(cluster string, n int) {
+	if m == nil {
+		return
+	}
+	m.backlog.With(cluster).Set(float64(n))
 }
 
 func (m *Metrics) setGlobal(budget, charged units.Power) {

@@ -1,0 +1,56 @@
+package invariant
+
+import "fmt"
+
+// QueueLedger is one serving station's cumulative request account at a
+// quantum boundary (internal/serve's Account, plus the node and time for
+// attribution). Counters are cumulative since station start; Queued and
+// InService are instantaneous.
+type QueueLedger struct {
+	Node      string
+	At        float64
+	Offered   uint64
+	Admitted  uint64
+	Rejected  uint64
+	Dropped   uint64
+	Completed uint64
+	TimedOut  uint64
+	Queued    int
+	InService int
+}
+
+// CheckQueueConservation checks the serving layer's conservation law:
+// every offered request is in exactly one state, so at every quantum
+//
+//	Offered  = Admitted + Rejected + Dropped
+//	Admitted = Completed + TimedOut + Queued + InService
+//
+// A station that loses a request (dispatch bug), double-counts a
+// completion (hook re-entry), or leaks queue slots breaks one of the two
+// identities immediately rather than skewing latency reports silently.
+func CheckQueueConservation(q QueueLedger) []Violation {
+	var out []Violation
+	name := "queue-conservation"
+	node := q.Node
+	if node == "" {
+		node = "(machine)"
+	}
+	if q.Offered != q.Admitted+q.Rejected+q.Dropped {
+		out = append(out, Violation{
+			Checker: name,
+			At:      q.At,
+			Detail: fmt.Sprintf("%s: offered %d ≠ admitted %d + rejected %d + dropped %d",
+				node, q.Offered, q.Admitted, q.Rejected, q.Dropped),
+		})
+	}
+	live := uint64(q.Queued) + uint64(q.InService)
+	if q.Admitted != q.Completed+q.TimedOut+live {
+		out = append(out, Violation{
+			Checker: name,
+			At:      q.At,
+			Detail: fmt.Sprintf("%s: admitted %d ≠ completed %d + timed-out %d + queued %d + in-service %d",
+				node, q.Admitted, q.Completed, q.TimedOut, q.Queued, q.InService),
+		})
+	}
+	return out
+}

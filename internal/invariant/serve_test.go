@@ -1,0 +1,54 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/invariant"
+)
+
+func TestCheckQueueConservation(t *testing.T) {
+	// 100 offered = 90 admitted + 6 rejected + 4 dropped;
+	// 90 admitted = 70 completed + 5 timed out + 12 queued + 3 in service.
+	ok := invariant.QueueLedger{
+		Node: "n0", At: 1.5,
+		Offered: 100, Admitted: 90, Rejected: 6, Dropped: 4,
+		Completed: 70, TimedOut: 5, Queued: 12, InService: 3,
+	}
+	if vs := invariant.CheckQueueConservation(ok); len(vs) != 0 {
+		t.Fatalf("balanced ledger flagged: %v", vs)
+	}
+
+	lost := ok
+	lost.Admitted = 89 // one offered request vanished before admission
+	vs := invariant.CheckQueueConservation(lost)
+	// Both identities break: offered no longer decomposes, and the
+	// admitted side is now one short of its downstream states too.
+	if len(vs) != 2 {
+		t.Fatalf("lost request: want 2 violations, got %v", vs)
+	}
+	for _, v := range vs {
+		if v.Checker != "queue-conservation" || v.At != 1.5 {
+			t.Fatalf("bad attribution: %+v", v)
+		}
+	}
+	if !strings.Contains(vs[0].Detail, "offered 100") ||
+		!strings.Contains(vs[1].Detail, "admitted 89") {
+		t.Fatalf("details don't name the broken identities: %v", vs)
+	}
+
+	double := ok
+	double.Completed = 71 // completion hook re-entered
+	vs = invariant.CheckQueueConservation(double)
+	if len(vs) != 1 || !strings.Contains(vs[0].Detail, "completed 71") {
+		t.Fatalf("double completion: %v", vs)
+	}
+
+	anon := ok
+	anon.Node = ""
+	anon.Dropped = 5
+	vs = invariant.CheckQueueConservation(anon)
+	if len(vs) != 1 || !strings.HasPrefix(vs[0].Detail, "(machine):") {
+		t.Fatalf("anonymous station: %v", vs)
+	}
+}

@@ -175,6 +175,9 @@ type Machine struct {
 	// normalises.
 	cpuEnergy   power.EnergyMeter
 	completions []JobCompletion
+	// completionHook, when set, receives every job completion synchronously
+	// inside the dispatch loop instead of the completions slice.
+	completionHook func(JobCompletion)
 	// arrivals holds future job submissions (open workloads), time-sorted.
 	arrivals workload.Schedule
 	// prevRates is Step's reused contention-coupling scratch.
@@ -326,6 +329,18 @@ func (m *Machine) Energy() units.Energy { return m.energy.Total() }
 // CPUEnergy returns the integrated processor-only energy so far, the
 // quantity the paper's Table 3 reports (normalised by the caller).
 func (m *Machine) CPUEnergy() units.Energy { return m.cpuEnergy.Total() }
+
+// SetCompletionHook diverts job completions to fn instead of the
+// unbounded completions slice. The hook fires synchronously inside the
+// dispatch loop at the moment the job finishes, *before* the CPU picks
+// its next job — so a hook that installs more work (a serving station
+// rebinding the cursor to the next queued request) keeps the CPU busy
+// within the same quantum, making the station work-conserving. The hook
+// must not call back into the machine's stepping methods. A nil fn
+// restores the default slice recording.
+func (m *Machine) SetCompletionHook(fn func(JobCompletion)) {
+	m.completionHook = fn
+}
 
 // Completions returns every job completion recorded so far.
 func (m *Machine) Completions() []JobCompletion {
@@ -493,7 +508,12 @@ func (m *Machine) stepCPU(i int, c *cpu, dt float64, partnerRate float64) {
 			break
 		}
 		// Precise completion time: offset into the quantum already spent.
-		m.completions = append(m.completions, JobCompletion{CPU: i, Program: job.Program().Name, At: m.clock.Now() + (dt - avail)})
+		done := JobCompletion{CPU: i, Program: job.Program().Name, At: m.clock.Now() + (dt - avail)}
+		if m.completionHook != nil {
+			m.completionHook(done)
+		} else {
+			m.completions = append(m.completions, done)
+		}
 		c.completions++
 	}
 	// The CPU is idle exactly when it has no runnable work left.

@@ -410,3 +410,63 @@ func TestZeroFrequencyStallsCPU(t *testing.T) {
 		t.Errorf("total = %v, want 420W (three at nominal, one off)", got)
 	}
 }
+
+// TestCompletionHook: a hook diverts completions from the slice, sees
+// the same interpolated timestamps, and can install follow-on work that
+// runs within the same quantum (the serving station's work-conserving
+// dispatch).
+func TestCompletionHook(t *testing.T) {
+	prog := func(name string, instr uint64) workload.Program {
+		return workload.Program{Name: name, Phases: []workload.Phase{{Name: "p", Alpha: 1.3, Instructions: instr}}}
+	}
+	// Reference run without a hook.
+	ref := newQuiet(t)
+	if err := ref.SetMix(0, workload.MustMix(prog("a", 1e6))); err != nil {
+		t.Fatal(err)
+	}
+	ref.RunQuanta(5)
+	refDone := ref.Completions()
+	if len(refDone) != 1 {
+		t.Fatalf("reference completions = %d", len(refDone))
+	}
+
+	// Hooked run: same job, then the hook chains a second job in place.
+	m := newQuiet(t)
+	mix := workload.MustMix(prog("a", 1e6))
+	cur := mix.Jobs()[0]
+	if err := m.SetMix(0, mix); err != nil {
+		t.Fatal(err)
+	}
+	var got []JobCompletion
+	m.SetCompletionHook(func(jc JobCompletion) {
+		got = append(got, jc)
+		if len(got) == 1 {
+			cur.Rebind(prog("b", 1e6))
+		}
+	})
+	m.RunQuanta(5)
+	if len(m.Completions()) != 0 {
+		t.Errorf("hooked machine still recorded %d completions in the slice", len(m.Completions()))
+	}
+	if len(got) != 2 {
+		t.Fatalf("hook saw %d completions, want 2 (chained job must run)", len(got))
+	}
+	if got[0].Program != "a" || got[1].Program != "b" {
+		t.Errorf("hook order: %+v", got)
+	}
+	if got[0].At != refDone[0].At {
+		t.Errorf("hooked completion at %v, reference at %v", got[0].At, refDone[0].At)
+	}
+	// Job b started the instant a finished, so it completed inside the
+	// same quantum (equal length, same frequency).
+	if got[1].At >= got[0].At+m.Config().Quantum {
+		t.Errorf("chained job completed at %v, not within the quantum after %v", got[1].At, got[0].At)
+	}
+	// Clearing the hook restores slice recording.
+	m.SetCompletionHook(nil)
+	cur.Rebind(prog("c", 1e6))
+	m.RunQuanta(5)
+	if len(m.Completions()) != 1 {
+		t.Errorf("after clearing hook, completions = %d, want 1", len(m.Completions()))
+	}
+}

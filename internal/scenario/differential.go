@@ -36,10 +36,11 @@ type DiffResult struct {
 // rounds must match byte for byte; inside them (partition windows, plus
 // everything after a message-fault policy starts, since a dropped counter
 // response skews the remote machine's simulated time permanently)
-// differences are recorded but allowed. The UPS is stripped on both
-// sides — the transport does not model battery drain.
+// differences are recorded but allowed. The UPS and the serving overlay
+// are stripped on both sides — the transport models neither battery
+// drain nor request streams.
 func RunDifferential(spec Spec, opt NetOptions) (*DiffResult, error) {
-	spec = spec.WithoutUPS()
+	spec = spec.WithoutUPS().WithoutServing()
 	inproc, err := RunCluster(spec, Options{})
 	if err != nil {
 		return nil, fmt.Errorf("scenario: in-process run: %w", err)

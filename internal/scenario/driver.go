@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/power"
+	"repro/internal/serve"
 	"repro/internal/units"
 )
 
@@ -53,6 +54,21 @@ func (o Options) suite() *invariant.Suite {
 	return invariant.NewSuite(o.Checkers...)
 }
 
+// ServeTrace is one node's serving account at the end of a round
+// (serving scenarios only): the cumulative request counters plus the
+// instantaneous backlog, rendered into the canonical trace so the
+// determinism check covers the serving layer byte for byte.
+type ServeTrace struct {
+	Node      string `json:"node"`
+	Offered   uint64 `json:"offered"`
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Dropped   uint64 `json:"dropped"`
+	Completed uint64 `json:"completed"`
+	TimedOut  uint64 `json:"timed_out"`
+	Backlog   int    `json:"backlog"`
+}
+
 // ProcTrace is one CPU's slice of a round trace.
 type ProcTrace struct {
 	Node       string  `json:"node"`
@@ -74,9 +90,10 @@ type RoundTrace struct {
 	LiveW     float64     `json:"live_w"`
 	ReservedW float64     `json:"reserved_w"`
 	ChargedW  float64     `json:"charged_w"`
-	Met       bool        `json:"met"`
-	Degraded  []string    `json:"degraded,omitempty"`
-	Procs     []ProcTrace `json:"procs"`
+	Met       bool         `json:"met"`
+	Degraded  []string     `json:"degraded,omitempty"`
+	Procs     []ProcTrace  `json:"procs"`
+	Serve     []ServeTrace `json:"serve,omitempty"`
 }
 
 // render writes the round as deterministic text lines. %v on float64
@@ -89,6 +106,11 @@ func (r RoundTrace) render(b *strings.Builder) {
 	for _, p := range r.Procs {
 		fmt.Fprintf(b, "  %s/cpu%d idle=%v des=%v act=%v v=%v\n",
 			p.Node, p.CPU, p.Idle, p.DesiredMHz, p.ActualMHz, p.VoltageV)
+	}
+	for _, sv := range r.Serve {
+		fmt.Fprintf(b, "  %s serve off=%d adm=%d rej=%d drop=%d done=%d to=%d bl=%d\n",
+			sv.Node, sv.Offered, sv.Admitted, sv.Rejected, sv.Dropped,
+			sv.Completed, sv.TimedOut, sv.Backlog)
 	}
 }
 
@@ -121,6 +143,11 @@ type nodeRun struct {
 	missed    int
 	degraded  bool
 	lastFreqs []units.Frequency
+	// st/feeder are set only for serving scenarios. A partitioned node's
+	// machine freezes, so its streams hold matured arrivals until it
+	// rejoins and the backlog lands as a burst.
+	st     *serve.Station
+	feeder *serve.Feeder
 }
 
 // RunCluster runs the scenario through cluster.Core in-process,
@@ -163,6 +190,13 @@ func RunCluster(spec Spec, opt Options) (*RunResult, error) {
 			m:       m,
 			sampler: sampler,
 		}
+		if spec.Serving != nil {
+			st, feeder, err := spec.newStation(i, m)
+			if err != nil {
+				return nil, err
+			}
+			nodes[i].st, nodes[i].feeder = st, feeder
+		}
 	}
 	table := fcfg.Table
 	core.SetPhaseTiming(opt.Sink != nil)
@@ -202,7 +236,18 @@ func RunCluster(spec Spec, opt Options) (*RunResult, error) {
 			}
 			live[i] = true
 			for q := 0; q < spec.SchedulePeriods; q++ {
+				if n.st != nil {
+					// Bracket the quantum exactly as the experiments do:
+					// deliver matured arrivals and start idle CPUs before the
+					// step, sweep completions and timeouts after it.
+					t := n.m.Now()
+					n.feeder.DeliverUpTo(t, n.st)
+					n.st.BeforeQuantum(t)
+				}
 				n.m.Step()
+				if n.st != nil {
+					n.st.AfterQuantum(n.m.Now())
+				}
 				if err := n.sampler.Collect(); err != nil {
 					return nil, fmt.Errorf("scenario: %s collect: %w", n.name, err)
 				}
@@ -300,10 +345,34 @@ func RunCluster(spec Spec, opt Options) (*RunResult, error) {
 			AllLiveAtFloor: allLiveFloor,
 		})...)
 
+		// Serving scenarios: the queue-conservation law per node per round,
+		// plus a serve line in the canonical trace.
+		var serves []ServeTrace
+		if spec.Serving != nil {
+			for _, n := range nodes {
+				a := n.st.Account()
+				suite.Report(invariant.CheckQueueConservation(invariant.QueueLedger{
+					Node: n.name, At: now,
+					Offered: a.Offered, Admitted: a.Admitted,
+					Rejected: a.Rejected, Dropped: a.Dropped,
+					Completed: a.Completed, TimedOut: a.TimedOut,
+					Queued: a.Queued, InService: a.InService,
+				})...)
+				serves = append(serves, ServeTrace{
+					Node: n.name, Offered: a.Offered, Admitted: a.Admitted,
+					Rejected: a.Rejected, Dropped: a.Dropped,
+					Completed: a.Completed, TimedOut: a.TimedOut,
+					Backlog: a.Queued + a.InService,
+				})
+			}
+		}
+
 		// LiveW renders pass.TablePower (not the per-node regrouped sum):
 		// both drivers compute it through the same flat accumulation in
 		// core.Schedule, so the traces stay bit-comparable.
-		res.Trace = append(res.Trace, roundTrace(round, now, trigger, budget, pass.TablePower, reserved, charged, degraded, inputs, pass))
+		rt := roundTrace(round, now, trigger, budget, pass.TablePower, reserved, charged, degraded, inputs, pass)
+		rt.Serve = serves
+		res.Trace = append(res.Trace, rt)
 
 		if opt.Sink != nil {
 			passID := uint64(round + 1)

@@ -5,8 +5,9 @@ package scenario
 type FailFunc func(Spec) bool
 
 // Shrink greedily reduces a failing spec to a smaller reproducer: at each
-// step it proposes structurally simpler candidates (drop the UPS, a fault
-// window, a budget event, a node, a CPU; halve the rounds; flatten a
+// step it proposes structurally simpler candidates (drop the UPS, the
+// serving overlay or one of its classes, a fault window, a budget event,
+// a node, a CPU; halve a serving class's clients or the rounds; flatten a
 // phased workload) and keeps the first that still fails, until no
 // candidate fails or maxAttempts runs are spent. The seed is never
 // changed — a shrunk spec replays with the same determinism guarantee as
@@ -43,6 +44,24 @@ func candidates(s Spec) []Spec {
 		c := clone(s)
 		c.UPS = nil
 		out = append(out, c)
+	}
+	if s.Serving != nil {
+		c := clone(s)
+		c.Serving = nil
+		out = append(out, c)
+		for i := range s.Serving.Classes {
+			if len(s.Serving.Classes) > 1 {
+				c := clone(s)
+				c.Serving.Classes = append(append([]ServingClassSpec(nil),
+					c.Serving.Classes[:i]...), c.Serving.Classes[i+1:]...)
+				out = append(out, c)
+			}
+			if s.Serving.Classes[i].Clients > 1 {
+				c := clone(s)
+				c.Serving.Classes[i].Clients /= 2
+				out = append(out, c)
+			}
+		}
 	}
 	for i := range s.Policies {
 		c := clone(s)
@@ -166,6 +185,9 @@ func clone(s Spec) Spec {
 	if s.UPS != nil {
 		u := *s.UPS
 		c.UPS = &u
+	}
+	if s.Serving != nil {
+		c.Serving = &ServingSpec{Classes: append([]ServingClassSpec(nil), s.Serving.Classes...)}
 	}
 	return c
 }

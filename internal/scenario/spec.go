@@ -11,7 +11,9 @@
 // Everything is deterministic from Spec.Seed alone, per the engine
 // seeding convention: one scenario seed, fixed offsets per derived stream
 // (machine i simulates with Seed+101+i, the coordinator's backoff jitter
-// with Seed+i, faultnet with Seed).
+// with Seed+i, faultnet with Seed; serving scenarios add the station on
+// node i at machine seed + 17 and the arrival stream for class c, client
+// k on node i at Seed+701+1000·i+37·c+k).
 package scenario
 
 import (
@@ -23,6 +25,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memhier"
 	"repro/internal/power"
+	"repro/internal/serve"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -86,6 +89,73 @@ type PolicyWindow struct {
 	DelayUS int     `json:"delay_us,omitempty"`
 }
 
+// ServingClassSpec is one request class in a serving scenario, the JSON
+// shape of a serve.Class plus its per-client arrival process. Every node
+// runs the same class set; the arrival spec applies per client.
+type ServingClassSpec struct {
+	Name string `json:"name"`
+	// Arrival is a serve.ParseArrivalSpec string, e.g. "gamma:3,cv=1.5".
+	Arrival string `json:"arrival"`
+	Clients int    `json:"clients"`
+	// MeanMInstr is the mean request size in millions of instructions.
+	MeanMInstr float64 `json:"mean_minstr"`
+	SizeCV     float64 `json:"size_cv,omitempty"`
+	// MemPerInstr shapes the request execution profile's memory intensity
+	// (serve.PhaseProfile).
+	MemPerInstr float64 `json:"mem_per_instr,omitempty"`
+	SLOMs       float64 `json:"slo_ms"`
+	TimeoutMs   float64 `json:"timeout_ms,omitempty"`
+	QueueCap    int     `json:"queue_cap"`
+	AdmitRate   float64 `json:"admit_rate,omitempty"`
+	AdmitBurst  int     `json:"admit_burst,omitempty"`
+	Priority    int     `json:"priority,omitempty"`
+}
+
+// class renders the spec as a serve.Class.
+func (c ServingClassSpec) class() serve.Class {
+	return serve.Class{
+		Name:       c.Name,
+		Phase:      serve.PhaseProfile(1.3, c.MemPerInstr),
+		MeanInstr:  c.MeanMInstr * 1e6,
+		SizeCV:     c.SizeCV,
+		SLO:        c.SLOMs / 1000,
+		Timeout:    c.TimeoutMs / 1000,
+		Priority:   c.Priority,
+		QueueCap:   c.QueueCap,
+		AdmitRate:  c.AdmitRate,
+		AdmitBurst: c.AdmitBurst,
+	}
+}
+
+// ServingSpec overlays open-loop request serving on the scenario: every
+// node gets a serve.Station over the shared class set, fed by per-client
+// renewal arrival streams, and the queue-conservation invariant is
+// checked every round. CPU workload kinds are ignored in serving
+// scenarios — the stations own the CPUs.
+type ServingSpec struct {
+	Classes []ServingClassSpec `json:"classes"`
+}
+
+func (sv *ServingSpec) validate() error {
+	if len(sv.Classes) == 0 {
+		return fmt.Errorf("scenario: serving spec has no classes")
+	}
+	for i, c := range sv.Classes {
+		if c.Clients < 1 {
+			return fmt.Errorf("scenario: serving class %d needs at least one client", i)
+		}
+		if _, err := serve.ParseArrivalSpec(c.Arrival); err != nil {
+			return fmt.Errorf("scenario: serving class %d: %w", i, err)
+		}
+		probe := c.class()
+		probe.Phase.Instructions = 1 // template length is per-request
+		if err := probe.Validate(); err != nil {
+			return fmt.Errorf("scenario: serving class %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // UPSSpec fails the supply onto a battery at the start of FailRound.
 type UPSSpec struct {
 	FailRound int     `json:"fail_round"`
@@ -110,6 +180,7 @@ type Spec struct {
 	Partitions      []Window       `json:"partitions,omitempty"`
 	Policies        []PolicyWindow `json:"policies,omitempty"`
 	UPS             *UPSSpec       `json:"ups,omitempty"`
+	Serving         *ServingSpec   `json:"serving,omitempty"`
 }
 
 // quantum is the shared dispatch quantum for scenario machines.
@@ -183,7 +254,65 @@ func Generate(seed int64) Spec {
 			CapacityJ: round1(s.BudgetW * runway * (0.5 + 0.5*rng.Float64())),
 		}
 	}
+	// ~30% of seeds are serving scenarios: the stations own the CPUs (the
+	// generated workload kinds are rewritten to idle so the spec reads the
+	// way it runs) and the queue-conservation checker runs every round.
+	if rng.Intn(10) < 3 {
+		s.Serving = genServing(rng)
+		for n := range s.Nodes {
+			for c := range s.Nodes[n].CPUs {
+				s.Nodes[n].CPUs[c] = CPUSpec{Kind: IdleCPU}
+			}
+		}
+	}
 	return s
+}
+
+// genServing draws a serving overlay: a latency-sensitive web class with
+// a randomized renewal arrival process, sometimes joined by a
+// lower-priority batch class. Rates are modest — a scenario lasts well
+// under a second of simulated time, so the classes exercise admission,
+// queueing and timeouts without unbounded backlog.
+func genServing(rng *rand.Rand) *ServingSpec {
+	web := ServingClassSpec{
+		Name:        "web",
+		Clients:     1 + rng.Intn(3),
+		MeanMInstr:  round1(5 + 30*rng.Float64()),
+		SizeCV:      round3(0.5 * rng.Float64()),
+		MemPerInstr: round3(0.01 * rng.Float64()),
+		SLOMs:       round1(50 + 250*rng.Float64()),
+		QueueCap:    64,
+		Priority:    1,
+	}
+	rate := round3(1 + 4*rng.Float64())
+	switch rng.Intn(3) {
+	case 0:
+		web.Arrival = fmt.Sprintf("poisson:%v", rate)
+	case 1:
+		web.Arrival = fmt.Sprintf("gamma:%v,cv=%v", rate, round3(1+rng.Float64()))
+	default:
+		web.Arrival = fmt.Sprintf("weibull:%v,cv=%v", rate, round3(1+0.8*rng.Float64()))
+	}
+	if rng.Intn(2) == 0 {
+		web.TimeoutMs = round1(300 + 700*rng.Float64())
+	}
+	if rng.Intn(4) == 0 {
+		web.AdmitRate = round3(rate * float64(web.Clients) * (0.5 + 0.5*rng.Float64()))
+		web.AdmitBurst = 1 + rng.Intn(8)
+	}
+	sv := &ServingSpec{Classes: []ServingClassSpec{web}}
+	if rng.Intn(2) == 0 {
+		sv.Classes = append(sv.Classes, ServingClassSpec{
+			Name:       "batch",
+			Arrival:    fmt.Sprintf("poisson:%v", round3(0.5+rng.Float64())),
+			Clients:    1,
+			MeanMInstr: round1(20 + 60*rng.Float64()),
+			SizeCV:     round3(0.8 * rng.Float64()),
+			SLOMs:      round1(1000 + 2000*rng.Float64()),
+			QueueCap:   128,
+		})
+	}
+	return sv
 }
 
 func genCPU(rng *rand.Rand) CPUSpec {
@@ -244,6 +373,13 @@ func (s Spec) WithoutUPS() Spec {
 	return s
 }
 
+// WithoutServing strips the serving overlay (the networked driver has no
+// stations; the differential compares closed-workload traces only).
+func (s Spec) WithoutServing() Spec {
+	s.Serving = nil
+	return s
+}
+
 // Validate checks the spec is runnable.
 func (s Spec) Validate() error {
 	if len(s.Nodes) == 0 {
@@ -281,6 +417,11 @@ func (s Spec) Validate() error {
 	}
 	if s.UPS != nil && (s.UPS.FailRound < 0 || s.UPS.CapacityJ <= 0 || s.UPS.RunwaySec <= 0) {
 		return fmt.Errorf("scenario: bad UPS spec %+v", *s.UPS)
+	}
+	if s.Serving != nil {
+		if err := s.Serving.validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -351,6 +492,11 @@ func (s Spec) newMachine(i int) (*machine.Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.Serving != nil {
+		// Serving scenarios: the station installs its own per-CPU serving
+		// cursors, so CPU workload kinds are ignored.
+		return m, nil
+	}
 	for cpu, cs := range s.Nodes[i].CPUs {
 		prog, ok := cs.program()
 		if !ok {
@@ -365,6 +511,50 @@ func (s Spec) newMachine(i int) (*machine.Machine, error) {
 		}
 	}
 	return m, nil
+}
+
+// servingSeedBase offsets the serving arrival-stream seeds away from the
+// machine (Seed+101+i) and jitter (Seed+i) ranges.
+const servingSeedBase = 701
+
+// newStation builds node i's serving station and arrival feeder over m.
+// Client identities are numbered across classes in class order. Seeding
+// follows the package convention: the station draws request sizes from
+// machine seed + 17, and the stream for class c, client k draws from
+// Seed + 701 + 1000·i + 37·c + k.
+func (s Spec) newStation(i int, m *machine.Machine) (*serve.Station, *serve.Feeder, error) {
+	classes := make([]serve.Class, len(s.Serving.Classes))
+	clients := 0
+	for ci, c := range s.Serving.Classes {
+		classes[ci] = c.class()
+		clients += c.Clients
+	}
+	st, err := serve.NewStation(m, serve.Config{
+		Classes: classes,
+		Clients: clients,
+		Seed:    s.Seed + 101 + int64(i) + 17,
+		Node:    fmt.Sprintf("n%d", i),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	feeder := &serve.Feeder{}
+	client := 0
+	for ci, c := range s.Serving.Classes {
+		aspec, err := serve.ParseArrivalSpec(c.Arrival)
+		if err != nil {
+			return nil, nil, err
+		}
+		for k := 0; k < c.Clients; k++ {
+			stm, err := aspec.NewStream(s.Seed + servingSeedBase + 1000*int64(i) + 37*int64(ci) + int64(k))
+			if err != nil {
+				return nil, nil, err
+			}
+			feeder.Add(ci, client, stm)
+			client++
+		}
+	}
+	return st, feeder, nil
 }
 
 // program renders the CPU spec as an endless workload program.

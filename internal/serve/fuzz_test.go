@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseArrivalSpec: the parser must never panic, and every accepted
+// spec must validate, round-trip through its canonical rendering, yield
+// a working gap distribution, and produce finite strictly-ordered
+// arrivals from a stream.
+func FuzzParseArrivalSpec(f *testing.F) {
+	f.Add("poisson:30")
+	f.Add("gamma:30,cv=2")
+	f.Add("gamma:12.5,cv=0.5,depth=0.8,period=4")
+	f.Add("weibull:7,cv=0.5,depth=0.3,period=10,phase=0.25")
+	f.Add("weibull:1e6,cv=3")
+	f.Add("poisson:0.001")
+	f.Add("gamma:30,cv=2,depth=0.999,period=1e7")
+	f.Add("bogus:1")
+	f.Add("poisson:30,cv=1")
+	f.Add(":,=")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseArrivalSpec(s)
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", s, verr)
+		}
+		back, err := ParseArrivalSpec(spec.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not parse: %v", spec.String(), s, err)
+		}
+		if back != spec {
+			t.Fatalf("round-trip %q → %+v ≠ %+v", s, back, spec)
+		}
+		if _, err := spec.Gaps(); err != nil {
+			t.Fatalf("accepted spec %q has no gap distribution: %v", s, err)
+		}
+		st, err := spec.NewStream(1)
+		if err != nil {
+			t.Fatalf("accepted spec %q has no stream: %v", s, err)
+		}
+		prev := 0.0
+		for i := 0; i < 50; i++ {
+			at := st.Pop()
+			if math.IsNaN(at) || math.IsInf(at, 0) || at < prev {
+				t.Fatalf("spec %q arrival %d = %v after %v", s, i, at, prev)
+			}
+			prev = at
+		}
+	})
+}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -140,6 +141,43 @@ func (h *BucketHistogram) Bounds() []float64 {
 	out := make([]float64, len(h.bounds))
 	copy(out, h.bounds)
 	return out
+}
+
+// Quantile returns the p-quantile (p in [0,1]) of the observed
+// distribution, interpolated linearly within the owning bucket under the
+// usual assumption that observations are uniform inside a bucket (the
+// histogram_quantile convention). The first bucket's lower edge is 0 for
+// non-negative data (min(0, bounds[0]) otherwise) and any quantile that
+// lands in the +Inf overflow bucket collapses to the highest finite
+// bound — the histogram cannot resolve beyond it. Quantile is monotone
+// non-decreasing in p. It returns NaN on an empty histogram and panics
+// on p outside [0,1].
+func (h *BucketHistogram) Quantile(p float64) float64 {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", p))
+	}
+	if h.n == 0 {
+		return math.NaN()
+	}
+	target := p * float64(h.n)
+	lower := math.Min(0, h.bounds[0])
+	var cum uint64
+	for i, b := range h.bounds {
+		c := h.counts[i]
+		if float64(cum+c) >= target {
+			if c == 0 {
+				return b
+			}
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (b-lower)*frac
+		}
+		cum += c
+		lower = b
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Cumulative returns the cumulative count at each finite bound, i.e. the

@@ -70,6 +70,141 @@ func PoissonArrivals(rng *rand.Rand, rate, horizon float64, numCPUs int, makeJob
 	return out, nil
 }
 
+// InterArrival draws unit-mean inter-arrival gaps for a renewal process.
+// Keeping the gap distribution at unit mean separates *shape* (burstiness,
+// expressed by the coefficient of variation) from *rate*: the generator
+// divides each gap by the instantaneous rate, so the same spec family
+// covers Poisson (CV 1), hyper-dispersed Gamma (CV > 1) and regular
+// Weibull (CV < 1) traffic.
+type InterArrival interface {
+	// Gap draws the next unit-mean gap.
+	Gap(rng *rand.Rand) float64
+	// CV returns the distribution's coefficient of variation (σ/µ).
+	CV() float64
+}
+
+// ExpGaps is the exponential (memoryless) gap distribution: a renewal
+// process with ExpGaps is a Poisson process. CV is 1 by construction.
+type ExpGaps struct{}
+
+// Gap implements InterArrival.
+func (ExpGaps) Gap(rng *rand.Rand) float64 { return rng.ExpFloat64() }
+
+// CV implements InterArrival.
+func (ExpGaps) CV() float64 { return 1 }
+
+// GammaGaps draws Gamma(shape k, scale 1/k) gaps — unit mean, CV = 1/√k.
+// Shape < 1 yields bursty traffic (CV > 1), shape > 1 regular traffic.
+type GammaGaps struct {
+	Shape float64
+}
+
+// Gap implements InterArrival.
+func (g GammaGaps) Gap(rng *rand.Rand) float64 {
+	return sampleGamma(rng, g.Shape) / g.Shape
+}
+
+// CV implements InterArrival.
+func (g GammaGaps) CV() float64 { return 1 / math.Sqrt(g.Shape) }
+
+// WeibullGaps draws Weibull(shape k) gaps rescaled to unit mean
+// (scale = 1/Γ(1+1/k)). Shape > 1 gives sub-exponential variability
+// (ageing inter-arrival hazard), shape < 1 heavy-tailed bursts.
+type WeibullGaps struct {
+	Shape float64
+}
+
+// Gap implements InterArrival.
+func (w WeibullGaps) Gap(rng *rand.Rand) float64 {
+	// Inverse-CDF draw: (−ln(1−U))^(1/k), then normalise the mean away.
+	return math.Pow(-math.Log1p(-rng.Float64()), 1/w.Shape) / math.Gamma(1+1/w.Shape)
+}
+
+// CV implements InterArrival.
+func (w WeibullGaps) CV() float64 {
+	m1 := math.Gamma(1 + 1/w.Shape)
+	m2 := math.Gamma(1 + 2/w.Shape)
+	return math.Sqrt(m2/(m1*m1) - 1)
+}
+
+// sampleGamma draws Gamma(shape, 1) by Marsaglia–Tsang squeeze, with the
+// standard boost for shape < 1.
+func sampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		return sampleGamma(rng, shape+1) * math.Pow(rng.Float64(), 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// RateFn is a time-varying mean arrival rate in requests/second.
+type RateFn func(t float64) float64
+
+// ConstantRate returns a flat rate function.
+func ConstantRate(rate float64) RateFn {
+	return func(float64) float64 { return rate }
+}
+
+// DiurnalRate is the raised-sinusoid day/night demand curve:
+// rate(t) = base·(1 + depth·sin(2π(t/period + phase))). Depth must be in
+// [0,1) so the rate stays positive; phase is a fraction of the period.
+func DiurnalRate(base, depth, period, phase float64) RateFn {
+	return func(t float64) float64 {
+		return base * (1 + depth*math.Sin(2*math.Pi*(t/period+phase)))
+	}
+}
+
+// RenewalArrivals draws a rate-modulated renewal process over [0, horizon):
+// each unit-mean gap from the distribution is stretched by the reciprocal
+// of the instantaneous rate at the previous arrival. For ExpGaps and a
+// constant rate this is exactly PoissonArrivals; for time-varying rates it
+// is the standard inversion approximation (exact in the limit of rates
+// varying slowly against the gap scale, which holds for diurnal periods
+// ≫ 1/rate). Jobs are assigned round-robin across numCPUs.
+func RenewalArrivals(rng *rand.Rand, gaps InterArrival, rate RateFn, horizon float64, numCPUs int, makeJob func(i int) Program) (Schedule, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	if gaps == nil || rate == nil {
+		return nil, fmt.Errorf("workload: nil gap distribution or rate fn")
+	}
+	if horizon <= 0 || numCPUs <= 0 {
+		return nil, fmt.Errorf("workload: horizon %v, cpus %d must be positive", horizon, numCPUs)
+	}
+	var out Schedule
+	t := 0.0
+	for i := 0; ; i++ {
+		r := rate(t)
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, fmt.Errorf("workload: rate %v at t=%v not positive finite", r, t)
+		}
+		t += gaps.Gap(rng) / r
+		if t >= horizon {
+			break
+		}
+		out = append(out, Arrival{At: t, CPU: i % numCPUs, Program: makeJob(i)})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // DiurnalArrivals draws arrivals from a time-varying Poisson process whose
 // rate follows a raised sinusoid — the classic day/night demand curve of a
 // server farm: rate(t) = base·(1 + depth·sin(2πt/period)). Thinning

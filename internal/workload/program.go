@@ -156,3 +156,15 @@ func (c *Cursor) Reset() {
 	c.loopsLeft = c.prog.Loops
 	c.done = false
 }
+
+// Rebind repoints the cursor at a new program and rewinds it, without
+// allocating. It is the reuse path for open request-serving workloads: a
+// serving station keeps one cursor per CPU and rebinds it to each request's
+// program as the previous one completes, so the per-request steady-state
+// path stays at zero allocations. The program must be valid; callers on a
+// hot path validate the template once up front and then mutate only
+// instruction counts.
+func (c *Cursor) Rebind(p Program) {
+	c.prog = p
+	c.Reset()
+}
