@@ -30,8 +30,11 @@ experiments:
 # reallocation-pass cost + farm-powerfail wall-clock in BENCH_farm.json,
 # the tracing overhead in BENCH_obs.json (fails if the no-sink hot path
 # allocates), the request-serving quantum in BENCH_serve.json (fails if
-# the steady-state serving or admission path allocates), and
-# per-experiment wall-clock/allocation stats in BENCH_experiments.json.
+# the steady-state serving or admission path allocates), the
+# discrete-event engine trendline in BENCH_des.json (fails if timeline
+# dispatch allocates or the DES-vs-quantum speedup drops below its
+# floor), and per-experiment wall-clock/allocation stats in
+# BENCH_experiments.json.
 bench:
 	$(GO) test -bench 'SchedulePass|MachineStep|RunAll' -benchmem \
 		./internal/fvsst/ ./internal/machine/ ./internal/experiments/
@@ -39,6 +42,7 @@ bench:
 	$(GO) run ./cmd/experiments farmbench
 	$(GO) run ./cmd/experiments obsbench
 	$(GO) run ./cmd/experiments servebench
+	$(GO) run ./cmd/experiments desbench
 	$(GO) run ./cmd/experiments -scale 0.05 -parallel 4 \
 		-bench-out BENCH_experiments.json all > /dev/null
 	@echo "(written to BENCH_experiments.json)"
@@ -55,9 +59,10 @@ examples:
 	$(GO) run ./examples/serverfarm
 
 # Short fuzz sessions over the parsers, the profile loader, the farm
-# budget-schedule parser, the arrival-spec parser, and the wire-frame
-# decoder.
+# budget-schedule parser, the arrival-spec parser, the wire-frame
+# decoder, and the event-timeline op sequencer.
 fuzz:
+	$(GO) test -fuzz FuzzTimelineOps -fuzztime 30s ./internal/engine/
 	$(GO) test -fuzz FuzzParseFrequency -fuzztime 30s ./internal/units/
 	$(GO) test -fuzz FuzzParsePower -fuzztime 30s ./internal/units/
 	$(GO) test -fuzz FuzzLoadProgram -fuzztime 30s ./internal/workload/
@@ -66,10 +71,11 @@ fuzz:
 	$(GO) test -fuzz FuzzRecvFrame -fuzztime 30s ./internal/netcluster/proto/
 
 # Randomized invariant soak: generated scenarios through the in-process
-# mirror, the differential (in-process vs networked) driver, and the farm
-# allocator, with every contract in docs/invariants.md checked each round.
+# mirror, the differential (in-process vs networked) driver, the farm
+# allocator, and the quantum-vs-DES engine differential, with every
+# contract in docs/invariants.md checked each round.
 soak:
-	$(GO) run ./cmd/experiments soak -seeds 200 -diff 25 -farm 50 -parallel 4
+	$(GO) run ./cmd/experiments soak -seeds 200 -diff 25 -farm 50 -des 50 -parallel 4
 
 # Statement coverage for the invariant + scenario subsystems (the ISSUE 5
 # floor is 90% for both); coverage.out covers the whole repo for browsing

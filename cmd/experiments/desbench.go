@@ -1,0 +1,355 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/machine"
+	"repro/internal/memhier"
+	"repro/internal/workload"
+)
+
+// runDesbench measures the discrete-event engine against the quantum
+// reference on the workload it was built for: a large fleet of mostly
+// idle machines receiving sparse request bursts. Each machine parks on a
+// timeline event at its next arrival and fast-forwards the idle span in
+// between; the quantum baseline hand-steps a sampled sub-fleet and is
+// extrapolated linearly (every node runs the same sparse-burst shape, so
+// per-node-second cost is flat — the extrapolation is labelled as such
+// in the output). Two rows are contracts: steady-state timeline dispatch
+// must allocate nothing, and the DES engine must beat the quantum
+// baseline by -min-speedup on the full fleet.
+func runDesbench(args []string, outPath string) error {
+	fs := flag.NewFlagSet("desbench", flag.ExitOnError)
+	nodes := fs.Int("nodes", 10000, "fleet size for the DES run")
+	horizon := fs.Float64("horizon", 3600, "simulated seconds for the DES run")
+	baseNodes := fs.Int("baseline-nodes", 200, "sampled fleet size for the quantum baseline")
+	baseHorizon := fs.Float64("baseline-horizon", 60, "simulated seconds for the quantum baseline")
+	parallel := fs.Int("parallel", 4, "worker shards (both engines use the same count)")
+	minSpeedup := fs.Float64("min-speedup", 50, "required DES-vs-quantum wall-clock ratio")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if outPath == "" {
+		outPath = "BENCH_des.json"
+	}
+	if *baseNodes > *nodes {
+		*baseNodes = *nodes
+	}
+
+	// Cross-check first: the engines must agree byte for byte on a small
+	// fleet before any wall-clock number means anything.
+	if err := desCrossCheck(); err != nil {
+		return err
+	}
+
+	var results []hotpathResult
+	add := func(name string, r testing.BenchmarkResult) {
+		results = append(results, hotpathResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+
+	// Contract row 1: steady-state event dispatch allocates nothing. A
+	// recurring handler that reposts as it fires is the shape every parked
+	// subsystem has; after warmup the heap slot and slot-table entry are
+	// reused from the free lists.
+	tl := engine.NewTimeline()
+	var recur engine.HandlerFunc
+	recur = func(now float64, tag uint64) error {
+		_, err := tl.Post(now+0.01, recur, tag)
+		return err
+	}
+	if _, err := tl.Post(0.01, recur, 0); err != nil {
+		return err
+	}
+	for i := 0; i < 64; i++ { // warm the free lists
+		if err := tl.AdvanceTo(tl.Now() + 0.01); err != nil {
+			return err
+		}
+	}
+	add("TimelineDispatch/steady-state", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := tl.AdvanceTo(tl.Now() + 0.01); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Quantum baseline on the sampled sub-fleet.
+	baseFleet, err := desFleet(*baseNodes, *baseHorizon)
+	if err != nil {
+		return err
+	}
+	baseStart := time.Now()
+	if err := shardRun(baseFleet, *parallel, func(ms []*machine.Machine) error {
+		return quantumAdvanceShard(ms, *baseHorizon)
+	}); err != nil {
+		return err
+	}
+	baseWall := time.Since(baseStart)
+	perNodeSec := baseWall.Seconds() / (float64(*baseNodes) * *baseHorizon)
+	extrapolated := perNodeSec * float64(*nodes) * *horizon
+
+	// DES run on the full fleet.
+	fleet, err := desFleet(*nodes, *horizon)
+	if err != nil {
+		return err
+	}
+	desStart := time.Now()
+	if err := shardRun(fleet, *parallel, func(ms []*machine.Machine) error {
+		return desAdvanceShard(ms, *horizon)
+	}); err != nil {
+		return err
+	}
+	desWall := time.Since(desStart)
+	speedup := extrapolated / desWall.Seconds()
+
+	results = append(results,
+		hotpathResult{Name: fmt.Sprintf("DES/%dnodes-%.0fs", *nodes, *horizon),
+			NsPerOp: float64(desWall.Nanoseconds()), N: 1},
+		hotpathResult{Name: fmt.Sprintf("Quantum/extrapolated-%dnodes-%.0fs", *nodes, *horizon),
+			NsPerOp: extrapolated * 1e9, N: *baseNodes},
+		hotpathResult{Name: "Speedup/des-vs-quantum", NsPerOp: speedup, N: 1},
+	)
+
+	if a := results[0].AllocsPerOp; a != 0 {
+		return fmt.Errorf("steady-state timeline dispatch allocates %d allocs/op, want 0", a)
+	}
+	if speedup < *minSpeedup {
+		return fmt.Errorf("DES speedup %.1fx below the %.0fx floor (des %.1fs vs quantum %.1fs extrapolated from %d nodes x %.0fs)",
+			speedup, *minSpeedup, desWall.Seconds(), extrapolated, *baseNodes, *baseHorizon)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("desbench: %d nodes x %.0fs simulated in %.2fs wall (%d shards)\n",
+		*nodes, *horizon, desWall.Seconds(), *parallel)
+	fmt.Printf("quantum baseline: %.2fs wall for %d nodes x %.0fs, extrapolated %.1fs for the full fleet\n",
+		baseWall.Seconds(), *baseNodes, *baseHorizon, extrapolated)
+	fmt.Printf("speedup: %.1fx (floor %.0fx); dispatch %d allocs/op\n", speedup, *minSpeedup, results[0].AllocsPerOp)
+	fmt.Printf("(written to %s)\n", outPath)
+	return nil
+}
+
+// desMachine builds one fleet node: a quiet 4-CPU halting-idle machine.
+// Every fourth node receives a sparse burst schedule — one short Gzip
+// job (~one busy quantum) every 60 s, phase staggered per node so the
+// fleet's bursts spread across the horizon the way independent request
+// streams would; the rest sit fully idle, the server-farm shape the
+// event engine exists for.
+func desMachine(i int, horizon float64) (*machine.Machine, error) {
+	cfg := machine.P630Config()
+	cfg.NumCPUs = 4
+	cfg.LatencyJitterSigma = 0
+	cfg.MeterNoiseSigma = 0
+	cfg.Contention = memhier.Contention{}
+	cfg.ThrottleSettle = 0
+	cfg.Idle = machine.IdleHalt
+	cfg.Seed = 1000 + int64(i)
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if i%4 != 0 {
+		return m, nil
+	}
+	const interval = 60.0
+	phase := 0.5 + float64(i%1951)*0.01
+	var sched workload.Schedule
+	k := 0
+	for at := phase; at < horizon; at += interval {
+		sched = append(sched, workload.Arrival{
+			At: at, CPU: (i + k) % cfg.NumCPUs, Program: workload.Gzip(0.002),
+		})
+		k++
+	}
+	if err := m.Submit(sched); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func desFleet(n int, horizon float64) ([]*machine.Machine, error) {
+	ms := make([]*machine.Machine, n)
+	for i := range ms {
+		m, err := desMachine(i, horizon)
+		if err != nil {
+			return nil, err
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// desPark is one machine parked on a shard timeline: each arrival event
+// advances the machine to the arrival (fast-forwarding the idle span
+// behind it) and reposts at the next one.
+type desPark struct {
+	m       *machine.Machine
+	tl      *engine.Timeline
+	horizon float64
+}
+
+// HandleEvent implements engine.Handler.
+func (p *desPark) HandleEvent(now float64, _ uint64) error {
+	if err := p.m.AdvanceTo(now); err != nil {
+		return err
+	}
+	for {
+		next, ok := p.m.NextArrivalAt()
+		if !ok || next >= p.horizon {
+			return nil
+		}
+		if next > p.m.Now() {
+			_, err := p.tl.Post(next, p, 0)
+			return err
+		}
+		// An arrival exactly on the machine's clock matures at the *next*
+		// quantum start; consume it before parking or the repost would spin
+		// at the same instant.
+		if err := p.m.FastForwardQuanta(1, nil); err != nil {
+			return err
+		}
+	}
+}
+
+// desAdvanceShard runs one shard of the fleet on its own timeline:
+// machines advance only at their arrival events plus one final sweep to
+// the horizon.
+func desAdvanceShard(ms []*machine.Machine, horizon float64) error {
+	tl := engine.NewTimeline()
+	parks := make([]desPark, len(ms))
+	for i, m := range ms {
+		parks[i] = desPark{m: m, tl: tl, horizon: horizon}
+		if at, ok := m.NextArrivalAt(); ok && at < horizon {
+			if _, err := tl.Post(at, &parks[i], 0); err != nil {
+				return err
+			}
+		}
+	}
+	if err := tl.AdvanceTo(horizon); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		if err := m.AdvanceTo(horizon); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// quantumAdvanceShard is the reference engine: every quantum of every
+// machine, hand-stepped.
+func quantumAdvanceShard(ms []*machine.Machine, horizon float64) error {
+	for _, m := range ms {
+		for m.Now() < horizon {
+			if err := m.StepQuantum(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// shardRun splits the fleet across workers; each shard's machines are
+// independent, so the result is deterministic at any worker count.
+func shardRun(ms []*machine.Machine, workers int, run func([]*machine.Machine) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ms) {
+		workers = len(ms)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	per := (len(ms) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(ms) {
+			hi = len(ms)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = run(ms[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// desMachineState renders everything the differential compares, through
+// %v so single-bit float drift shows.
+func desMachineState(m *machine.Machine) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%v e=%v ce=%v\n", m.Now(), m.Energy(), m.CPUEnergy())
+	for i := 0; i < m.NumCPUs(); i++ {
+		s, err := m.ReadCounters(i)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "cpu%d %+v f=%v\n", i, s, m.EffectiveFrequency(i))
+	}
+	return b.String(), nil
+}
+
+// desCrossCheck pins the engines to each other on a small fleet before
+// the benchmark trusts either wall clock.
+func desCrossCheck() error {
+	const n, horizon = 3, 45.0
+	ref, err := desFleet(n, horizon)
+	if err != nil {
+		return err
+	}
+	des, err := desFleet(n, horizon)
+	if err != nil {
+		return err
+	}
+	if err := quantumAdvanceShard(ref, horizon); err != nil {
+		return err
+	}
+	if err := desAdvanceShard(des, horizon); err != nil {
+		return err
+	}
+	for i := range ref {
+		want, err := desMachineState(ref[i])
+		if err != nil {
+			return err
+		}
+		got, err := desMachineState(des[i])
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("desbench: engines diverged on node %d:\n--- quantum ---\n%s--- des ---\n%s", i, want, got)
+		}
+	}
+	return nil
+}

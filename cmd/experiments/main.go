@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | soak | report | <id>...]
+//	experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | soak | report | <id>...]
 //
 // The experiment ids, their descriptions and the usage text all come from
 // the registry in internal/experiments (run `experiments list` to see
@@ -19,7 +19,10 @@
 // reallocation pass plus the farm-powerfail study's wall-clock; `obsbench`
 // pins the tracing overhead (the no-sink path must stay at 0 allocs/op);
 // `servebench` pins the request-serving quantum (steady-state serving and
-// admission must also stay at 0 allocs/op).
+// admission must also stay at 0 allocs/op); `desbench` races the
+// discrete-event engine against the quantum reference on an idle-heavy
+// fleet (steady-state timeline dispatch must stay at 0 allocs/op and the
+// speedup must clear its floor).
 // `report` renders the energy & compliance ledger from a JSONL trace.
 package main
 
@@ -38,7 +41,7 @@ import (
 
 func usage() {
 	w := flag.CommandLine.Output()
-	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | soak | report | <id>...]\n\nExperiments:\n")
+	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | soak | report | <id>...]\n\nExperiments:\n")
 	for _, s := range experiments.Registry() {
 		fmt.Fprintf(w, "  %-12s %s\n", s.ID, s.Desc)
 	}
@@ -99,6 +102,12 @@ func main() {
 	case "servebench":
 		if err := runServebench(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "desbench":
+		if err := runDesbench(args[1:], *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "desbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -21,6 +21,7 @@ func runSoak(args []string) error {
 	seeds := fs.Int("seeds", 25, "cluster invariant scenarios to run")
 	diff := fs.Int("diff", 5, "differential (in-process vs networked) scenarios to run")
 	farm := fs.Int("farm", 10, "farm-layer scenarios to run")
+	des := fs.Int("des", 5, "quantum-vs-DES engine differentials to run")
 	baseSeed := fs.Int64("seed", 1, "first seed of every range")
 	parallel := fs.Int("parallel", 4, "worker-pool size")
 	wall := fs.Duration("wall", 0, "wall-clock budget; jobs not started in time are marked skipped (0 = unbounded)")
@@ -36,6 +37,7 @@ func runSoak(args []string) error {
 		Seeds:     *seeds,
 		DiffSeeds: *diff,
 		FarmSeeds: *farm,
+		DESSeeds:  *des,
 		BaseSeed:  *baseSeed,
 		Parallel:  *parallel,
 		Wall:      *wall,
@@ -54,8 +56,8 @@ func runSoak(args []string) error {
 		}
 	}
 
-	fmt.Printf("soak: %d cluster + %d diff + %d farm scenarios in %.1fs (parallel=%d)\n",
-		*seeds, *diff, *farm, rep.ElapsedSec, *parallel)
+	fmt.Printf("soak: %d cluster + %d diff + %d farm + %d des scenarios in %.1fs (parallel=%d)\n",
+		*seeds, *diff, *farm, *des, rep.ElapsedSec, *parallel)
 	for _, r := range rep.Results {
 		if r.Skipped {
 			fmt.Printf("  %-7s seed %-6d SKIPPED (wall budget)\n", r.Kind, r.Seed)

@@ -113,11 +113,21 @@ type Coordinator struct {
 	// timeouts per node (see SetQuantumHook).
 	beforeQuantum func(now float64)
 	afterQuantum  func(now float64)
+	// homogeneous records whether every machine shares the coordinator's
+	// cadence quantum (the exact-lockstep fast case).
+	homogeneous bool
+	// wakers bound how far RunDES may skip while quantum hooks are
+	// installed (see AddWaker).
+	wakers []Waker
 }
 
 // New builds a coordinator over the nodes with a global processor power
-// budget. All machines must share the same dispatch quantum; the
-// coordinator steps them in lockstep.
+// budget. The coordinator's collect/schedule cadence follows the first
+// node's dispatch quantum; nodes whose machines run a different (e.g.
+// finer) quantum are advanced to each cadence edge with the machine's
+// variable-dt path instead of stepping in exact lockstep. Counter
+// staleness is measured in simulated seconds of RTT, never in quanta, so
+// the mixed-quantum case observes the same wall-clock lag.
 func New(cfg fvsst.Config, budget units.Power, nodes ...*Node) (*Coordinator, error) {
 	core, err := NewCore(cfg)
 	if err != nil {
@@ -135,11 +145,15 @@ func New(cfg fvsst.Config, budget units.Power, nodes ...*Node) (*Coordinator, er
 		}
 	}
 	quantum := nodes[0].M.Config().Quantum
+	homogeneous := true
 	for _, n := range nodes {
 		if n.M.Config().Quantum != quantum {
-			return nil, fmt.Errorf("cluster: node %s quantum %v differs from %v", n.Name, n.M.Config().Quantum, quantum)
+			homogeneous = false
 		}
-		sampler, err := counters.NewSampler(n.M, 4*cfg.SchedulePeriods+staleQuanta(n.RTT, quantum))
+		// History capacity: the aggregation window plus the most windows an
+		// RTT can hold in flight (each collected window spans at least one
+		// cadence quantum).
+		sampler, err := counters.NewSampler(n.M, 4*cfg.SchedulePeriods+int(math.Ceil(n.RTT/quantum)))
 		if err != nil {
 			return nil, err
 		}
@@ -150,17 +164,13 @@ func New(cfg fvsst.Config, budget units.Power, nodes ...*Node) (*Coordinator, er
 		return nil, err
 	}
 	return &Coordinator{
-		cfg:    cfg,
-		core:   core,
-		nodes:  nodes,
-		budget: budget,
-		loop:   loop,
+		cfg:         cfg,
+		core:        core,
+		nodes:       nodes,
+		budget:      budget,
+		loop:        loop,
+		homogeneous: homogeneous,
 	}, nil
-}
-
-// staleQuanta converts an RTT into whole dispatch quanta of staleness.
-func staleQuanta(rtt, quantum float64) int {
-	return int(math.Ceil(rtt / quantum))
 }
 
 // Nodes returns the cluster's nodes.
@@ -225,16 +235,7 @@ func (c *Coordinator) procs() []ProcRef {
 // coordinator's collect/schedule protocol.
 func (c *Coordinator) Step() error {
 	// Budget change trigger.
-	var want units.Power
-	switch {
-	case c.source != nil:
-		want = c.source.BudgetAt(c.loop.Now())
-	case c.Budgets != nil:
-		want = c.Budgets.At(c.loop.Now())
-	default:
-		want = c.budget
-	}
-	if want != c.budget {
+	if want := c.budgetWant(); want != c.budget {
 		c.budget = want
 		if err := c.schedule("budget-change"); err != nil {
 			return err
@@ -265,7 +266,9 @@ func (c *Coordinator) Step() error {
 		c.beforeQuantum(c.loop.Now())
 	}
 	for _, n := range c.nodes {
-		n.M.Step()
+		if err := c.advanceNode(n); err != nil {
+			return err
+		}
 		if err := n.sampler.Collect(); err != nil {
 			return err
 		}
@@ -290,13 +293,39 @@ func (c *Coordinator) Step() error {
 	return nil
 }
 
+// advanceNode moves one node's machine through the current cadence
+// quantum: the exact per-quantum step when the machine shares the
+// coordinator's quantum, the variable-dt advance to the quantum's end
+// otherwise. Machine accounting failures surface as *machine.StepError.
+func (c *Coordinator) advanceNode(n *Node) error {
+	if c.homogeneous {
+		return n.M.StepQuantum()
+	}
+	return n.M.AdvanceTo(c.loop.Now() + c.loop.Quantum())
+}
+
+// staleWindows returns how many of the newest history windows are still
+// in flight to the coordinator: staleness is the node's RTT in simulated
+// seconds, so windows are skipped until their combined span covers it.
+// (With every window exactly one quantum long this equals the old
+// ⌈RTT/quantum⌉ rule.)
+func staleWindows(hist *counters.History, rtt float64) int {
+	skip := 0
+	var span float64
+	for skip < hist.Len() && span < rtt {
+		span += hist.Last(skip).Window
+		skip++
+	}
+	return skip
+}
+
 // observation builds the (stale) observation for a processor: the most
 // recent RTT's worth of windows has not reached the coordinator yet, so the
 // aggregate skips them.
 func (c *Coordinator) observation(p ProcRef) (perfmodel.Observation, bool) {
 	n := c.nodes[p.Node]
-	skip := staleQuanta(n.RTT, c.loop.Quantum())
 	hist := n.sampler.History(p.CPU)
+	skip := staleWindows(hist, n.RTT)
 	if hist.Len() <= skip {
 		return perfmodel.Observation{}, false
 	}

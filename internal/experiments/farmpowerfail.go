@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/counters"
+	"repro/internal/engine"
 	"repro/internal/farm"
 	"repro/internal/machine"
 	"repro/internal/memhier"
@@ -243,6 +244,11 @@ func (o Options) farmAllocRun(policy farm.Policy) (FarmPolicyOutcome, error) {
 		ClusterLoss:  map[string]float64{},
 		MinRunwaySec: math.Inf(1),
 	}
+	tl := engine.NewTimeline()
+	met, err := engine.NewMetronome(tl, quantum, farmPeriods)
+	if err != nil {
+		return FarmPolicyOutcome{}, err
+	}
 	if err := pass(0, "initial"); err != nil {
 		return FarmPolicyOutcome{}, err
 	}
@@ -250,7 +256,10 @@ func (o Options) farmAllocRun(policy farm.Policy) (FarmPolicyOutcome, error) {
 	for i := 0; i < steps; i++ {
 		now := float64(i) * quantum
 		if i > 0 {
-			if trig, due := alloc.Tick(now); due {
+			if err := tl.AdvanceTo(now); err != nil {
+				return FarmPolicyOutcome{}, err
+			}
+			if trig, due := alloc.Trigger(now, met.TakeDue()); due {
 				if err := pass(now, trig); err != nil {
 					return FarmPolicyOutcome{}, err
 				}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/farm"
 	"repro/internal/machine"
 	"repro/internal/serve"
@@ -217,6 +218,11 @@ func (o Options) hotspotRun(policy farm.Policy, duration float64) (HotspotOutcom
 	if err := pass(0, "initial"); err != nil {
 		return HotspotOutcome{}, err
 	}
+	tl := engine.NewTimeline()
+	met, err := engine.NewMetronome(tl, quantum, hotspotPeriods)
+	if err != nil {
+		return HotspotOutcome{}, err
+	}
 
 	out := HotspotOutcome{Policy: string(policy), Jain: 1}
 	peakBacklog := make([]int, len(specs))
@@ -241,7 +247,10 @@ func (o Options) hotspotRun(policy farm.Policy, duration float64) (HotspotOutcom
 			}
 		}
 		if i > 0 {
-			if trig, due := alloc.Tick(now); due {
+			if err := tl.AdvanceTo(now); err != nil {
+				return HotspotOutcome{}, err
+			}
+			if trig, due := alloc.Trigger(now, met.TakeDue()); due {
 				if err := pass(now, trig); err != nil {
 					return HotspotOutcome{}, err
 				}

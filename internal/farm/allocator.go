@@ -5,7 +5,6 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/units"
 )
@@ -69,9 +68,11 @@ type AllocatorConfig struct {
 	// Members are the clusters, in a fixed order that Demand slices and
 	// lease bookkeeping index.
 	Members []Member
-	// Periods is the engine.Cadence n: a reallocation pass is due every
-	// Periods Ticks (plus immediately whenever the source budget falls
-	// below the charged total — the paper's budget-change trigger).
+	// Periods is the reallocation cadence in dispatch quanta: the driving
+	// loop arranges a timer edge every Periods quanta (an engine.Metronome
+	// on its timeline, or an engine.Cadence it ticks itself) and passes it
+	// to Trigger, which adds the immediate budget-change trigger whenever
+	// the source budget falls below the charged total.
 	Periods int
 	// LeaseTTL is the lifetime of each granted lease in seconds. It must
 	// cover at least one reallocation period or leases would expire
@@ -92,12 +93,12 @@ type AllocatorConfig struct {
 }
 
 // Allocator divides a time-varying global budget across clusters by least
-// marginal predicted loss, issuing expiring leases. Drive it with one
-// Tick per dispatch quantum; when Tick reports a pass is due, gather
-// fresh demand curves and call Allocate. Not safe for concurrent use.
+// marginal predicted loss, issuing expiring leases. The driving loop owns
+// the timer cadence; each quantum it calls Trigger with whether the timer
+// fired, and when a pass is due it gathers fresh demand curves and calls
+// Allocate. Not safe for concurrent use.
 type Allocator struct {
-	cfg     AllocatorConfig
-	cadence engine.Cadence
+	cfg AllocatorConfig
 
 	leases   []Lease
 	hasLease []bool
@@ -145,14 +146,12 @@ func NewAllocator(cfg AllocatorConfig) (*Allocator, error) {
 	default:
 		return nil, fmt.Errorf("farm: unknown policy %q", cfg.Policy)
 	}
-	cadence, err := engine.NewCadence(cfg.Periods)
-	if err != nil {
-		return nil, err
+	if cfg.Periods < 1 {
+		return nil, fmt.Errorf("farm: allocator periods %d must be ≥ 1", cfg.Periods)
 	}
 	n := len(cfg.Members)
 	return &Allocator{
 		cfg:       cfg,
-		cadence:   cadence,
 		leases:    make([]Lease, n),
 		hasLease:  make([]bool, n),
 		pos:       make([]int, n),
@@ -182,13 +181,14 @@ func (a *Allocator) Charged(now float64) units.Power {
 	return sum
 }
 
-// Tick advances the allocator's cadence one dispatch quantum and reports
-// whether a reallocation pass is due now, and why: "timer" on the cadence
-// edge, "budget-change" immediately whenever the source budget has fallen
-// below the charged total (a supply failure, or UPS decay outpacing the
-// safety margin). Callers then gather demand curves and call Allocate.
-func (a *Allocator) Tick(now float64) (trigger string, due bool) {
-	timerDue := a.cadence.Tick()
+// Trigger decides whether a reallocation pass is due now, and why:
+// "budget-change" immediately whenever the source budget has fallen below
+// the charged total (a supply failure, or UPS decay outpacing the safety
+// margin), else "timer" when the driver's cadence fired this quantum. A
+// budget-change pass consumes the timer edge — the caller took it off its
+// metronome before calling, and the pass it triggers resets the urgency
+// either way. Callers then gather demand curves and call Allocate.
+func (a *Allocator) Trigger(now float64, timerDue bool) (trigger string, due bool) {
 	if a.cfg.Source.BudgetAt(now) < a.Charged(now) {
 		return "budget-change", true
 	}
@@ -196,6 +196,20 @@ func (a *Allocator) Tick(now float64) (trigger string, due bool) {
 		return "timer", true
 	}
 	return "", false
+}
+
+// NextChargeEdgeAt returns the earliest future lease expiry — the next
+// time the charged total can change without an Allocate call — or +Inf
+// when nothing is outstanding. With an EdgeSource budget it bounds the
+// allocator's next possible budget-change trigger for DES drivers.
+func (a *Allocator) NextChargeEdgeAt(now float64) float64 {
+	next := math.Inf(1)
+	for i := range a.cfg.Members {
+		if a.hasLease[i] && now < a.leases[i].Expires && a.leases[i].Expires < next {
+			next = a.leases[i].Expires
+		}
+	}
+	return next
 }
 
 // Allocate runs one reallocation pass at now. demands must be indexed

@@ -3,6 +3,7 @@ package farm
 import (
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -250,9 +251,9 @@ func TestAllocateRejectsBadDemands(t *testing.T) {
 	}
 }
 
-// TestTickTriggers: the cadence fires every Periods ticks, and a budget
-// falling below the charged total fires immediately.
-func TestTickTriggers(t *testing.T) {
+// TestTriggerEdges: the driver's metronome fires every Periods quanta,
+// and a budget falling below the charged total fires immediately.
+func TestTriggerEdges(t *testing.T) {
 	sched, err := power.NewBudgetSchedule(units.Watts(200),
 		power.BudgetEvent{At: 0.35, Budget: units.Watts(50), Label: "drop"})
 	if err != nil {
@@ -273,15 +274,23 @@ func TestTickTriggers(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+	tl := engine.NewTimeline()
+	met, err := engine.NewMetronome(tl, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var triggers []string
 	for i := 1; i <= 5; i++ {
 		now := float64(i) * 0.1
-		if trig, due := a.Tick(now); due {
+		if err := tl.AdvanceTo(now); err != nil {
+			t.Fatal(err)
+		}
+		if trig, due := a.Trigger(now, met.TakeDue()); due {
 			triggers = append(triggers, trig)
 		}
 	}
-	// Ticks at 0.1..0.5: the 0.4 tick sees the 0.35 drop (50 < 150
-	// charged) before the cadence would fire at 0.5.
+	// Quanta at 0.1..0.5: the 0.4 quantum sees the 0.35 drop (50 < 150
+	// charged) before the metronome would fire at 0.5.
 	want := []string{"budget-change", "budget-change"}
 	if len(triggers) != 2 || triggers[0] != "budget-change" {
 		t.Fatalf("triggers = %v, want %v (drop detected at t=0.4 and t=0.5)", triggers, want)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/power"
 	"repro/internal/units"
 )
@@ -218,6 +219,11 @@ func runConservation(t *testing.T, seed int64) string {
 		fp.WriteByte('\n')
 	}
 
+	tl := engine.NewTimeline()
+	met, err := engine.NewMetronome(tl, propDT, propPeriods)
+	if err != nil {
+		t.Fatal(err)
+	}
 	pass(0, "initial")
 	for i := 1; i <= propSteps; i++ {
 		now := float64(i) * propDT
@@ -228,7 +234,10 @@ func runConservation(t *testing.T, seed int64) string {
 				t.Fatalf("seed %d t=%.2f: %v", seed, now, err)
 			}
 		}
-		if trig, due := a.Tick(now); due {
+		if err := tl.AdvanceTo(now); err != nil {
+			t.Fatalf("seed %d t=%.2f: %v", seed, now, err)
+		}
+		if trig, due := a.Trigger(now, met.TakeDue()); due {
 			pass(now, trig)
 		}
 		// The invariant, checked at every tick whether or not a pass ran:

@@ -1,0 +1,322 @@
+// Variable-dt advancement: the discrete-event fast path over the quantum
+// engine. AdvanceTo and FastForwardQuanta advance a machine many quanta
+// at a time while remaining byte-identical to repeated Step calls — the
+// contract the quantum-vs-DES differential driver pins.
+//
+// The mechanism is probe-and-replay, with Step as the only executor of
+// simulated work: when the machine is in a steady span (no runnable or
+// pending work, no settling throttle, no RNG consumption per quantum),
+// two consecutive quanta are run through the real Step path; if they
+// produce identical counter deltas and quantum stats, every further
+// quantum in the span is that same pure function of state, so the span
+// is replayed in bulk — integer counter additions, one idle-cursor
+// advance, and the exact per-quantum floating-point accumulations on the
+// clock and both energy meters (repeated addition is observable;
+// summing once would round differently). Anything the probes cannot
+// certify — jitter draws, Monte-Carlo execution, arrivals maturing,
+// idle-loop phase wrap — falls back to per-quantum stepping, so the fast
+// path is an optimisation, never a semantic.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/units"
+)
+
+// StepError is the structured failure the advance paths surface when a
+// quantum cannot be accounted (energy integration rejecting its inputs),
+// instead of crashing mid-simulation. Only the legacy Step wrapper still
+// panics, preserving its historical contract.
+type StepError struct {
+	Machine string
+	At      float64
+	Op      string
+	Err     error
+}
+
+// Error implements error.
+func (e *StepError) Error() string {
+	return fmt.Sprintf("machine %s: %s at t=%v: %v", e.Machine, e.Op, e.At, e.Err)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *StepError) Unwrap() error { return e.Err }
+
+func (m *Machine) stepError(op string, err error) error {
+	return &StepError{Machine: m.cfg.Name, At: m.clock.Now(), Op: op, Err: err}
+}
+
+// NextArrivalAt returns the due time of the earliest pending submission —
+// the machine's next externally interesting time on a DES timeline — and
+// false when no arrivals are pending.
+func (m *Machine) NextArrivalAt() (float64, bool) {
+	if len(m.arrivals) == 0 {
+		return 0, false
+	}
+	return m.arrivals[0].At, true
+}
+
+// quantumDelta is one probe measurement: what a single Step changed on
+// one CPU, plus the state needed to certify that replaying it is exact.
+type quantumDelta struct {
+	d    counters.Sample // per-quantum counter delta (Time unused)
+	last QuantumStats    // the stats the quantum produced
+	rem  uint64          // idle-cursor instructions left in phase after the probe
+}
+
+func subSample(a, b counters.Sample) counters.Sample {
+	return counters.Sample{
+		Instructions: a.Instructions - b.Instructions,
+		Cycles:       a.Cycles - b.Cycles,
+		HaltedCycles: a.HaltedCycles - b.HaltedCycles,
+		L2Refs:       a.L2Refs - b.L2Refs,
+		L3Refs:       a.L3Refs - b.L3Refs,
+		MemRefs:      a.MemRefs - b.MemRefs,
+	}
+}
+
+func addSampleN(dst *counters.Sample, d counters.Sample, n uint64) {
+	dst.Instructions += d.Instructions * n
+	dst.Cycles += d.Cycles * n
+	dst.HaltedCycles += d.HaltedCycles * n
+	dst.L2Refs += d.L2Refs * n
+	dst.L3Refs += d.L3Refs * n
+	dst.MemRefs += d.MemRefs * n
+}
+
+// steadyEligible reports whether the machine's next quantum is a pure
+// function of its current per-quantum state — the precondition for
+// probe-and-replay. It requires: no matured or runnable work, no stolen
+// daemon time, no throttle still settling, and no RNG consumption per
+// quantum. RNG is consumed by the latency-jitter draw whenever any CPU
+// runs at f > 0, and by Monte-Carlo execution when the hot idle loop
+// actually executes, so those configurations are only eligible fully
+// throttled.
+func (m *Machine) steadyEligible() bool {
+	now := m.clock.Now()
+	if len(m.arrivals) > 0 && m.arrivals[0].At <= now {
+		return false
+	}
+	anyHot := false
+	for _, c := range m.cpus {
+		if c.mix != nil && !c.mix.Done() {
+			return false
+		}
+		if c.stolenDebt > 0 {
+			return false
+		}
+		if c.throt.Settling(now) {
+			return false
+		}
+		if c.throt.Effective(now) > 0 {
+			anyHot = true
+		}
+	}
+	if anyHot {
+		if m.cfg.LatencyJitterSigma != 0 {
+			return false
+		}
+		if m.cfg.Idle == IdleHot && m.cfg.MonteCarloExec {
+			return false
+		}
+	}
+	return true
+}
+
+// FastForwardQuanta advances exactly n dispatch quanta, equivalent —
+// byte for byte on counters, energy, clock, completions and RNG state —
+// to n iterations of { StepQuantum(); after() }. after (which may be
+// nil) runs at the end of every quantum with the machine fully advanced,
+// the hook a sampler collecting per-quantum windows hangs on; it must
+// observe the machine only, not mutate it. Steady spans are replayed in
+// bulk; everything else steps.
+func (m *Machine) FastForwardQuanta(n int, after func() error) error {
+	if n < 0 {
+		return m.stepError("fast-forward", fmt.Errorf("negative quantum count %d", n))
+	}
+	for n > 0 {
+		k, err := m.fastForwardSpan(n, after)
+		if err != nil {
+			return err
+		}
+		n -= k
+	}
+	return nil
+}
+
+// fastForwardSpan advances between 1 and n quanta and reports how many.
+func (m *Machine) fastForwardSpan(n int, after func() error) (int, error) {
+	stepOne := func() error {
+		if err := m.StepQuantum(); err != nil {
+			return err
+		}
+		if after != nil {
+			return after()
+		}
+		return nil
+	}
+	// A replay only pays for itself past two probe quanta.
+	if n < 3 || !m.steadyEligible() {
+		if err := stepOne(); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	if cap(m.ffBase) < len(m.cpus) {
+		m.ffBase = make([]counters.Sample, len(m.cpus))
+		m.ffProbe = make([]quantumDelta, len(m.cpus))
+	}
+	m.ffBase = m.ffBase[:len(m.cpus)]
+	m.ffProbe = m.ffProbe[:len(m.cpus)]
+
+	// Probe 1: a real quantum, measured. Its delta may still carry
+	// transients (contention coupling reaches steady state one quantum
+	// after the workload does), so it only anchors the comparison.
+	for i, c := range m.cpus {
+		m.ffBase[i] = c.totals
+	}
+	if err := stepOne(); err != nil {
+		return 0, err
+	}
+	for i, c := range m.cpus {
+		m.ffProbe[i] = quantumDelta{d: subSample(c.totals, m.ffBase[i]), last: c.last, rem: c.idleCursor.RemainingInPhase()}
+	}
+	done := 1
+
+	// Probe 2: certify. If it reproduces probe 1 exactly, the quantum is
+	// a fixed point of the machine state and replaying it is exact.
+	for i, c := range m.cpus {
+		m.ffBase[i] = c.totals
+	}
+	if err := stepOne(); err != nil {
+		return done, err
+	}
+	done = 2
+	steady := m.steadyEligible()
+	for i, c := range m.cpus {
+		p := &m.ffProbe[i]
+		d := subSample(c.totals, m.ffBase[i])
+		rem := c.idleCursor.RemainingInPhase()
+		if d != p.d || c.last != p.last || rem != p.rem-d.Instructions {
+			steady = false
+		}
+	}
+	if !steady {
+		return done, nil
+	}
+
+	// Bound the replay: stop a full quantum short of the next arrival
+	// (float-safe: probes and fallback steps absorb the boundary), and
+	// keep every idle cursor comfortably inside its current phase so
+	// each replayed quantum sees the same in-phase headroom the probes
+	// did.
+	k := n - done
+	if len(m.arrivals) > 0 {
+		if kArr := int((m.arrivals[0].At-m.clock.Now())/m.cfg.Quantum) - 1; kArr < k {
+			k = kArr
+		}
+	}
+	for i := range m.cpus {
+		p := &m.ffProbe[i]
+		dI := p.d.Instructions
+		if dI == 0 {
+			continue
+		}
+		rem := m.cpus[i].idleCursor.RemainingInPhase()
+		if rem < 2*dI+2 {
+			k = 0
+			break
+		}
+		if kc := int((rem - 2*dI - 2) / dI); kc < k {
+			k = kc
+		}
+	}
+	if k <= 0 {
+		return done, nil
+	}
+
+	// Replay: the certified quantum, k times. Integer counter work is
+	// batched; the clock and energy meters run their per-quantum float
+	// additions so accumulated rounding matches the stepped engine bit
+	// for bit.
+	dt := m.cfg.Quantum
+	cpuP := m.TotalCPUPower()
+	sysP := m.cfg.NonCPU + cpuP
+	if after == nil {
+		for i, c := range m.cpus {
+			p := &m.ffProbe[i]
+			addSampleN(&c.totals, p.d, uint64(k))
+			if p.d.Instructions > 0 {
+				c.idleCursor.AdvanceWithinPhase(p.d.Instructions * uint64(k))
+			}
+		}
+		// Validate exactly as the per-meter calls would, then run all five
+		// accumulator chains (two meters' energy+elapsed, the clock) in one
+		// fused loop: each chain still performs its per-quantum addition in
+		// sequence — bit-identical to k separate Accumulate/Tick calls —
+		// but the independent chains overlap in the pipeline instead of
+		// running back to back.
+		if err := m.cpuEnergy.AccumulateRepeat(cpuP, dt, 0); err != nil {
+			return done, m.stepError("cpu-energy", err)
+		}
+		if err := m.energy.AccumulateRepeat(sysP, dt, 0); err != nil {
+			return done, m.stepError("system-energy", err)
+		}
+		cpuT, cpuN := m.cpuEnergy.ReplayCells()
+		sysT, sysN := m.energy.ReplayCells()
+		nowC := m.clock.ReplayCell()
+		cpuInc := units.EnergyOver(cpuP, dt)
+		sysInc := units.EnergyOver(sysP, dt)
+		q := m.clock.Quantum()
+		ct, cn, st, sn, now := *cpuT, *cpuN, *sysT, *sysN, *nowC
+		for j := 0; j < k; j++ {
+			ct += cpuInc
+			cn += dt
+			st += sysInc
+			sn += dt
+			now += q
+		}
+		*cpuT, *cpuN, *sysT, *sysN, *nowC = ct, cn, st, sn, now
+		return done + k, nil
+	}
+	for j := 0; j < k; j++ {
+		for i, c := range m.cpus {
+			p := &m.ffProbe[i]
+			addSampleN(&c.totals, p.d, 1)
+			if p.d.Instructions > 0 {
+				c.idleCursor.AdvanceWithinPhase(p.d.Instructions)
+			}
+		}
+		if err := m.cpuEnergy.Accumulate(cpuP, dt); err != nil {
+			return done, m.stepError("cpu-energy", err)
+		}
+		if err := m.energy.Accumulate(sysP, dt); err != nil {
+			return done, m.stepError("system-energy", err)
+		}
+		m.clock.Tick()
+		done++
+		if err := after(); err != nil {
+			return done, err
+		}
+	}
+	return done, nil
+}
+
+// AdvanceTo advances the machine to simulation time t — inclusive of the
+// quantum containing t, exactly like RunUntil — fast-forwarding steady
+// spans. The result is byte-identical to RunUntil(t) on every
+// configuration; the only difference is wall-clock cost.
+func (m *Machine) AdvanceTo(t float64) error {
+	for m.clock.Now() < t {
+		n := int((t - m.clock.Now()) / m.cfg.Quantum)
+		if n < 1 {
+			n = 1
+		}
+		if err := m.FastForwardQuanta(n, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -182,6 +182,10 @@ type Machine struct {
 	arrivals workload.Schedule
 	// prevRates is Step's reused contention-coupling scratch.
 	prevRates []float64
+	// ffBase/ffProbe are FastForwardQuanta's reused probe scratch (see
+	// advance.go): per-CPU counter baselines and measured quantum deltas.
+	ffBase  []counters.Sample
+	ffProbe []quantumDelta
 }
 
 // New builds a machine from the configuration. Every CPU starts at nominal
@@ -419,8 +423,21 @@ func (m *Machine) admitArrivals() {
 	}
 }
 
-// Step advances the simulation by one dispatch quantum on every CPU.
+// Step advances the simulation by one dispatch quantum on every CPU. It
+// panics if the quantum cannot be accounted; drivers that must survive
+// accounting failures use StepQuantum (or AdvanceTo/FastForwardQuanta),
+// which surface a structured *StepError instead.
 func (m *Machine) Step() {
+	if err := m.StepQuantum(); err != nil {
+		panic(err)
+	}
+}
+
+// StepQuantum advances the simulation by one dispatch quantum on every
+// CPU, returning a *StepError instead of panicking when energy
+// accounting fails — the advance path the cluster coordinator and the
+// DES drivers run on.
+func (m *Machine) StepQuantum() error {
 	m.admitArrivals()
 	dt := m.cfg.Quantum
 	// Contention couples through the *previous* quantum's traffic so each
@@ -440,12 +457,13 @@ func (m *Machine) Step() {
 	// Integrate energy at the post-actuation operating points.
 	cpuP := m.TotalCPUPower()
 	if err := m.cpuEnergy.Accumulate(cpuP, dt); err != nil {
-		panic(err)
+		return m.stepError("cpu-energy", err)
 	}
 	if err := m.energy.Accumulate(m.cfg.NonCPU+cpuP, dt); err != nil {
-		panic(err)
+		return m.stepError("system-energy", err)
 	}
 	m.clock.Tick()
+	return nil
 }
 
 // partnerRate returns the shared-L2 partner's post-L1 rate for CPU i, or 0

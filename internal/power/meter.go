@@ -60,6 +60,44 @@ func (e *EnergyMeter) Accumulate(p units.Power, dt float64) error {
 	return nil
 }
 
+// AccumulateRepeat applies Accumulate(p, dt) n times. The per-iteration
+// additions are deliberate: a DES fast-forward over n identical quanta
+// must reproduce the exact floating-point rounding of n separate
+// Accumulate calls (the integrated totals are rendered bit-for-bit in
+// differential traces), so only the per-quantum *work* is batched, never
+// the arithmetic.
+func (e *EnergyMeter) AccumulateRepeat(p units.Power, dt float64, n int) error {
+	if n < 0 {
+		return fmt.Errorf("power: energy meter repeat count %d must be non-negative", n)
+	}
+	if dt < 0 {
+		return fmt.Errorf("power: energy meter dt %v must be non-negative", dt)
+	}
+	if p < 0 {
+		return fmt.Errorf("power: energy meter power %v must be non-negative", p)
+	}
+	inc := units.EnergyOver(p, dt)
+	for i := 0; i < n; i++ {
+		e.total += inc
+		e.now += dt
+	}
+	if n > 0 {
+		e.begun = true
+	}
+	return nil
+}
+
+// ReplayCells exposes the meter's two accumulators — total energy and
+// elapsed seconds — so a DES bulk replay can interleave several meters'
+// per-quantum additions in one fused loop (serial dependent-add chains
+// overlap in the pipeline instead of running back to back). The caller
+// must apply exactly the additions Accumulate would, in the same order;
+// any other use voids the meter's invariants.
+func (e *EnergyMeter) ReplayCells() (total *units.Energy, elapsed *float64) {
+	e.begun = true
+	return &e.total, &e.now
+}
+
 // Total returns the accumulated energy.
 func (e *EnergyMeter) Total() units.Energy { return e.total }
 

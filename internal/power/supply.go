@@ -2,6 +2,7 @@ package power
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/units"
@@ -212,4 +213,17 @@ func (b *BudgetSchedule) Events() []BudgetEvent {
 // (t0 < t1) — how the scheduler's trigger loop detects a limit change.
 func (b *BudgetSchedule) ChangesBetween(t0, t1 float64) bool {
 	return b.At(t0) != b.At(t1)
+}
+
+// NextChangeAt returns the schedule's next event time strictly after now
+// — the budget edge a DES driver must stop at — or +Inf when no event
+// remains. Events that re-state the current budget still count as edges:
+// the bound is conservative, never late.
+func (b *BudgetSchedule) NextChangeAt(now float64) float64 {
+	for _, e := range b.events {
+		if e.At > now {
+			return e.At
+		}
+	}
+	return math.Inf(1)
 }

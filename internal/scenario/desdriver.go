@@ -1,0 +1,113 @@
+// Discrete-event scenario driver: the same round loop as RunCluster,
+// but a live node with nothing interesting inside the round — no
+// serving work in flight, no arrival maturing — crosses it on the
+// machine's probe-and-replay fast-forward path instead of five
+// hand-stepped quanta. The result is byte-identical to RunCluster
+// (RunDESDifferential pins it), so the two engines are interchangeable
+// on everything except wall-clock cost.
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// RunClusterDES runs the scenario on the discrete-event engine. Trace,
+// hash and violations match RunCluster byte for byte; quiet rounds are
+// fast-forwarded in bulk while samplers keep collecting per-quantum
+// windows.
+func RunClusterDES(spec Spec, opt Options) (*RunResult, error) {
+	return runClusterEngine(spec, opt, true)
+}
+
+// advanceNodeRound carries one live node across a round's quanta. The
+// reference engine (des=false) hand-steps every quantum with the serving
+// bracket. The DES engine first asks roundSkippable whether the round
+// can touch anything beyond plain machine time; if so it fast-forwards —
+// FastForwardQuanta itself falls back to real steps for any quantum that
+// is not a certified fixed point, so skipping is always byte-safe.
+func advanceNodeRound(n *nodeRun, periods int, des bool) error {
+	if des && n.roundSkippable(periods) {
+		if err := n.m.FastForwardQuanta(periods, n.sampler.Collect); err != nil {
+			return fmt.Errorf("scenario: %s fast-forward: %w", n.name, err)
+		}
+		if n.st != nil {
+			// Keep the emit cadence aligned with the quanta AfterQuantum
+			// would have counted.
+			n.st.SkipQuanta(periods)
+		}
+		return nil
+	}
+	for q := 0; q < periods; q++ {
+		if n.st != nil {
+			// Bracket the quantum exactly as the experiments do:
+			// deliver matured arrivals and start idle CPUs before the
+			// step, sweep completions and timeouts after it.
+			t := n.m.Now()
+			n.feeder.DeliverUpTo(t, n.st)
+			n.st.BeforeQuantum(t)
+		}
+		n.m.Step()
+		if n.st != nil {
+			n.st.AfterQuantum(n.m.Now())
+		}
+		if err := n.sampler.Collect(); err != nil {
+			return fmt.Errorf("scenario: %s collect: %w", n.name, err)
+		}
+	}
+	return nil
+}
+
+// roundSkippable reports whether the whole round is hands-off for this
+// node: non-serving nodes always are (the machine layer guards itself),
+// serving nodes only while the station is drained and silent and the
+// next arrival lands safely past the round's end. The two-quantum
+// margin keeps float accumulation on the arrival clock from pulling an
+// edge case inside the span.
+func (n *nodeRun) roundSkippable(periods int) bool {
+	if n.st == nil {
+		return true
+	}
+	now := n.m.Now()
+	if !math.IsInf(n.st.NextWakeAt(now), 1) {
+		return false
+	}
+	return n.feeder.NextAt() > now+float64(periods+2)*quantum
+}
+
+// DESDiffResult is one quantum-vs-DES differential: the same spec
+// through both engines, required byte-identical.
+type DESDiffResult struct {
+	Spec Spec       `json:"spec"`
+	Ref  *RunResult `json:"ref"`
+	DES  *RunResult `json:"des"`
+	// Divergences lists rounds whose rendered traces differ. Unlike the
+	// networked differential there are no fault windows: every
+	// difference is a bug in the event engine.
+	Divergences []Divergence `json:"divergences,omitempty"`
+	Equivalent  bool         `json:"equivalent"`
+}
+
+// RunDESDifferential runs the scenario through the quantum reference
+// engine and the DES engine and compares round by round. No allowance
+// is made for faults, UPS or serving — the DES engine must reproduce
+// all of them exactly.
+func RunDESDifferential(spec Spec, opt Options) (*DESDiffResult, error) {
+	ref, err := RunCluster(spec, opt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: quantum run: %w", err)
+	}
+	des, err := RunClusterDES(spec, opt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: DES run: %w", err)
+	}
+	d := &DESDiffResult{Spec: spec, Ref: ref, DES: des}
+	for r := 0; r < spec.Rounds; r++ {
+		a, b := renderOne(ref.Trace, r), renderOne(des.Trace, r)
+		if a != b {
+			d.Divergences = append(d.Divergences, Divergence{Round: r, Detail: firstDiff(a, b, "quantum", "des")})
+		}
+	}
+	d.Equivalent = len(d.Divergences) == 0 && ref.Hash == des.Hash
+	return d, nil
+}

@@ -63,7 +63,7 @@ func RunDifferential(spec Spec, opt NetOptions) (*DiffResult, error) {
 			d.InWindowDiffs++
 			continue
 		}
-		d.Divergences = append(d.Divergences, Divergence{Round: r, Detail: firstDiff(a, b)})
+		d.Divergences = append(d.Divergences, Divergence{Round: r, Detail: firstDiff(a, b, "in-proc", "net")})
 	}
 	d.Equivalent = len(d.Divergences) == 0
 	return d, nil
@@ -78,8 +78,8 @@ func renderOne(trace []RoundTrace, r int) string {
 	return b.String()
 }
 
-// firstDiff returns the first differing line pair, "in-proc | net".
-func firstDiff(a, b string) string {
+// firstDiff returns the first differing line pair, labelled per side.
+func firstDiff(a, b, la, lb string) string {
 	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
 	for i := 0; i < len(al) || i < len(bl); i++ {
 		var x, y string
@@ -90,7 +90,7 @@ func firstDiff(a, b string) string {
 			y = bl[i]
 		}
 		if x != y {
-			return fmt.Sprintf("in-proc %q vs net %q", strings.TrimSpace(x), strings.TrimSpace(y))
+			return fmt.Sprintf("%s %q vs %s %q", la, strings.TrimSpace(x), lb, strings.TrimSpace(y))
 		}
 	}
 	return "traces differ"

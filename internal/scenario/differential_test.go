@@ -64,22 +64,22 @@ func TestDifferentialFaulty(t *testing.T) {
 }
 
 func TestFirstDiff(t *testing.T) {
-	if got := firstDiff("a\nb\n", "a\nc\n"); !strings.Contains(got, `"b"`) || !strings.Contains(got, `"c"`) {
+	if got := firstDiff("a\nb\n", "a\nc\n", "l", "r"); !strings.Contains(got, `"b"`) || !strings.Contains(got, `"c"`) {
 		t.Fatalf("firstDiff = %q", got)
 	}
-	if got := firstDiff("x", "x"); got != "traces differ" {
+	if got := firstDiff("x", "x", "l", "r"); got != "traces differ" {
 		t.Fatalf("identical-input fallback = %q", got)
 	}
 }
 
-// TestSoakClean runs a small clean campaign of all three job kinds.
+// TestSoakClean runs a small clean campaign of all four job kinds.
 func TestSoakClean(t *testing.T) {
-	rep := Soak(SoakConfig{Seeds: 4, DiffSeeds: 2, FarmSeeds: 3, Parallel: 4, ShrinkMax: 50})
+	rep := Soak(SoakConfig{Seeds: 4, DiffSeeds: 2, FarmSeeds: 3, DESSeeds: 2, Parallel: 4, ShrinkMax: 50})
 	if !rep.OK {
 		t.Fatalf("clean soak failed: %+v", rep)
 	}
-	if len(rep.Results) != 9 {
-		t.Fatalf("got %d results, want 9", len(rep.Results))
+	if len(rep.Results) != 11 {
+		t.Fatalf("got %d results, want 11", len(rep.Results))
 	}
 	for _, r := range rep.Results {
 		if r.Skipped || r.Err != "" {
@@ -87,7 +87,7 @@ func TestSoakClean(t *testing.T) {
 		}
 	}
 	// The report order is deterministic regardless of worker count.
-	seq := Soak(SoakConfig{Seeds: 4, DiffSeeds: 2, FarmSeeds: 3, Parallel: 1, ShrinkMax: 50})
+	seq := Soak(SoakConfig{Seeds: 4, DiffSeeds: 2, FarmSeeds: 3, DESSeeds: 2, Parallel: 1, ShrinkMax: 50})
 	for i := range rep.Results {
 		if rep.Results[i].Hash != seq.Results[i].Hash || rep.Results[i].Seed != seq.Results[i].Seed {
 			t.Fatalf("result %d differs across worker counts", i)

@@ -157,6 +157,13 @@ type nodeRun struct {
 // trace is directly comparable with RunNet's. Every pass and every
 // round ledger runs under the invariant checkers.
 func RunCluster(spec Spec, opt Options) (*RunResult, error) {
+	return runClusterEngine(spec, opt, false)
+}
+
+// runClusterEngine is the shared round loop behind RunCluster (quantum
+// reference engine) and RunClusterDES (event-skipping engine). The two
+// differ only in how a live node crosses a round — see advanceNodeRound.
+func runClusterEngine(spec Spec, opt Options, des bool) (*RunResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -235,22 +242,8 @@ func RunCluster(spec Spec, opt Options) (*RunResult, error) {
 				continue
 			}
 			live[i] = true
-			for q := 0; q < spec.SchedulePeriods; q++ {
-				if n.st != nil {
-					// Bracket the quantum exactly as the experiments do:
-					// deliver matured arrivals and start idle CPUs before the
-					// step, sweep completions and timeouts after it.
-					t := n.m.Now()
-					n.feeder.DeliverUpTo(t, n.st)
-					n.st.BeforeQuantum(t)
-				}
-				n.m.Step()
-				if n.st != nil {
-					n.st.AfterQuantum(n.m.Now())
-				}
-				if err := n.sampler.Collect(); err != nil {
-					return nil, fmt.Errorf("scenario: %s collect: %w", n.name, err)
-				}
+			if err := advanceNodeRound(n, spec.SchedulePeriods, des); err != nil {
+				return nil, err
 			}
 			for cpu := 0; cpu < n.m.NumCPUs(); cpu++ {
 				// Round-trip the delta through the wire report so both

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/farm"
 	"repro/internal/invariant"
 	"repro/internal/power"
@@ -228,6 +229,11 @@ func RunFarm(spec FarmSpec) (*RunResult, error) {
 		return nil
 	}
 
+	tl := engine.NewTimeline()
+	met, err := engine.NewMetronome(tl, farmDT, farmPeriods)
+	if err != nil {
+		return nil, err
+	}
 	if err := pass(0, "initial"); err != nil {
 		return nil, err
 	}
@@ -239,7 +245,10 @@ func RunFarm(spec FarmSpec) (*RunResult, error) {
 				return nil, err
 			}
 		}
-		if trig, due := alloc.Tick(now); due {
+		if err := tl.AdvanceTo(now); err != nil {
+			return nil, err
+		}
+		if trig, due := alloc.Trigger(now, met.TakeDue()); due {
 			if err := pass(now, trig); err != nil {
 				return nil, err
 			}

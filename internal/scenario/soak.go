@@ -21,6 +21,9 @@ type SoakConfig struct {
 	DiffSeeds int `json:"diff_seeds"`
 	// FarmSeeds is the number of farm-layer scenarios.
 	FarmSeeds int `json:"farm_seeds"`
+	// DESSeeds is the number of quantum-vs-DES engine differentials
+	// (RunCluster vs RunClusterDES, required byte-identical).
+	DESSeeds int `json:"des_seeds"`
 	// BaseSeed offsets every seed range; 0 means 1.
 	BaseSeed int64 `json:"base_seed,omitempty"`
 	// Parallel is the worker-pool size; 0 or 1 runs sequentially. Every
@@ -48,11 +51,12 @@ type SoakConfig struct {
 const (
 	diffSeedBase = 10_000
 	farmSeedBase = 20_000
+	desSeedBase  = 30_000
 )
 
 // SeedResult is one job's outcome.
 type SeedResult struct {
-	Kind   string `json:"kind"` // "cluster", "diff" or "farm"
+	Kind   string `json:"kind"` // "cluster", "diff", "farm" or "des"
 	Seed   int64  `json:"seed"`
 	Rounds int    `json:"rounds,omitempty"`
 	Hash   string `json:"hash,omitempty"`
@@ -89,9 +93,10 @@ type SoakReport struct {
 
 // Soak runs the campaign: cluster scenarios through the in-process
 // mirror plus the full invariant suite (twice each, byte-comparing the
-// traces), differential scenarios through both stacks, and farm
-// scenarios through the allocator contract checks. Failing cluster
-// seeds are shrunk to minimal reproducers.
+// traces), differential scenarios through both stacks, farm scenarios
+// through the allocator contract checks, and DES scenarios through the
+// quantum-vs-DES engine differential (byte-comparing per-round traces).
+// Failing cluster seeds are shrunk to minimal reproducers.
 func Soak(cfg SoakConfig) *SoakReport {
 	start := time.Now()
 	base := cfg.BaseSeed
@@ -117,6 +122,9 @@ func Soak(cfg SoakConfig) *SoakReport {
 	for i := 0; i < cfg.FarmSeeds; i++ {
 		jobs = append(jobs, job{"farm", base + farmSeedBase + int64(i)})
 	}
+	for i := 0; i < cfg.DESSeeds; i++ {
+		jobs = append(jobs, job{"des", base + desSeedBase + int64(i)})
+	}
 
 	results := make([]SeedResult, len(jobs))
 	run := func(j job) SeedResult {
@@ -132,6 +140,8 @@ func Soak(cfg SoakConfig) *SoakReport {
 			runDiffJob(&res)
 		case "farm":
 			runFarmJob(&res)
+		case "des":
+			runDESJob(&res)
 		}
 		return res
 	}
@@ -231,6 +241,22 @@ func runDiffJob(res *SeedResult) {
 	res.Equivalent = d.Equivalent
 	res.FaultRounds = d.FaultRounds
 	res.InWindowDiffs = d.InWindowDiffs
+	res.Divergences = d.Divergences
+}
+
+// runDESJob runs one quantum-vs-DES engine differential. Any round
+// whose rendered trace differs is a divergence — the event engine has
+// no fault-window allowance.
+func runDESJob(res *SeedResult) {
+	d, err := RunDESDifferential(Generate(res.Seed), Options{})
+	if err != nil {
+		res.Err = err.Error()
+		return
+	}
+	res.Rounds = d.Spec.Rounds
+	res.Hash = d.Ref.Hash
+	res.Violations = append(append([]invariant.Violation(nil), d.Ref.Violations...), d.DES.Violations...)
+	res.Equivalent = d.Equivalent
 	res.Divergences = d.Divergences
 }
 
