@@ -33,8 +33,10 @@ experiments:
 # the steady-state serving or admission path allocates), the
 # discrete-event engine trendline in BENCH_des.json (fails if timeline
 # dispatch allocates or the DES-vs-quantum speedup drops below its
-# floor), and per-experiment wall-clock/allocation stats in
-# BENCH_experiments.json.
+# floor), the cluster-transport codec round trip + relay-tree
+# pass-latency trendline in BENCH_netcluster.json (fails if the
+# steady-state binary poll cycle allocates), and per-experiment
+# wall-clock/allocation stats in BENCH_experiments.json.
 bench:
 	$(GO) test -bench 'SchedulePass|MachineStep|RunAll' -benchmem \
 		./internal/fvsst/ ./internal/machine/ ./internal/experiments/
@@ -43,6 +45,7 @@ bench:
 	$(GO) run ./cmd/experiments obsbench
 	$(GO) run ./cmd/experiments servebench
 	$(GO) run ./cmd/experiments desbench
+	$(GO) run ./cmd/experiments netbench
 	$(GO) run ./cmd/experiments -scale 0.05 -parallel 4 \
 		-bench-out BENCH_experiments.json all > /dev/null
 	@echo "(written to BENCH_experiments.json)"
@@ -59,8 +62,8 @@ examples:
 	$(GO) run ./examples/serverfarm
 
 # Short fuzz sessions over the parsers, the profile loader, the farm
-# budget-schedule parser, the arrival-spec parser, the wire-frame
-# decoder, and the event-timeline op sequencer.
+# budget-schedule parser, the arrival-spec parser, the JSON and binary
+# wire decoders, and the event-timeline op sequencer.
 fuzz:
 	$(GO) test -fuzz FuzzTimelineOps -fuzztime 30s ./internal/engine/
 	$(GO) test -fuzz FuzzParseFrequency -fuzztime 30s ./internal/units/
@@ -69,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseScheduleSpec -fuzztime 30s ./internal/farm/
 	$(GO) test -fuzz FuzzParseArrivalSpec -fuzztime 30s ./internal/serve/
 	$(GO) test -fuzz FuzzRecvFrame -fuzztime 30s ./internal/netcluster/proto/
+	$(GO) test -fuzz FuzzWireDecode -fuzztime 30s ./internal/netcluster/wire/
 
 # Randomized invariant soak: generated scenarios through the in-process
 # mirror, the differential (in-process vs networked) driver, the farm

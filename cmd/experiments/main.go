@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | soak | report | <id>...]
+//	experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | netbench | soak | report | <id>...]
 //
 // The experiment ids, their descriptions and the usage text all come from
 // the registry in internal/experiments (run `experiments list` to see
@@ -41,7 +41,7 @@ import (
 
 func usage() {
 	w := flag.CommandLine.Output()
-	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | soak | report | <id>...]\n\nExperiments:\n")
+	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | netbench | soak | report | <id>...]\n\nExperiments:\n")
 	for _, s := range experiments.Registry() {
 		fmt.Fprintf(w, "  %-12s %s\n", s.ID, s.Desc)
 	}
@@ -108,6 +108,12 @@ func main() {
 	case "desbench":
 		if err := runDesbench(args[1:], *benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "desbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "netbench":
+		if err := runNetbench(args[1:], *benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "netbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fvsst"
+	"repro/internal/machine"
+	"repro/internal/netcluster"
+	"repro/internal/netcluster/proto"
+	"repro/internal/netcluster/wire"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// runNetbench pins the cluster transport's hot path and its scaling
+// behaviour: codec micro-benchmarks (a counter poll round trip over the
+// binary wire, its JSON baseline, and the bytes each puts on the wire)
+// plus a relay-tree pass-latency trendline over in-process pipe fleets.
+// One row is a contract: the steady-state binary codec cycle must run at
+// 0 allocs/op, the property the per-connection reusable buffers exist
+// for; the run fails if it regresses.
+func runNetbench(args []string, outPath string) error {
+	fs := flag.NewFlagSet("netbench", flag.ExitOnError)
+	fleets := fs.String("fleets", "100,300,1000", "comma-separated pipe-fleet sizes for the pass-latency trendline")
+	rounds := fs.Int("rounds", 3, "scheduling rounds per fleet size")
+	fanout := fs.Int("fanout", 50, "leaf agents per relay in the tree runs")
+	cpus := fs.Int("cpus", 8, "CPUs per counter report in the codec benchmarks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if outPath == "" {
+		outPath = "BENCH_netcluster.json"
+	}
+
+	var results []hotpathResult
+	add := func(name string, r testing.BenchmarkResult) {
+		results = append(results, hotpathResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+
+	// Codec micro-benchmarks: one counter poll round trip (request out,
+	// report back) between a coordinator-side and an agent-side conn over
+	// in-memory buffers, the same message flow RunRound's poll phase
+	// repeats per node per round.
+	for _, binary := range []bool{true, false} {
+		name := "json"
+		if binary {
+			name = wire.CodecName + "-delta"
+		}
+		cycle, wireBytes, err := codecCycle(*cpus, binary)
+		if err != nil {
+			return err
+		}
+		add("CodecPollCycle/"+name, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := cycle(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		// Wire footprint of the steady-state report frame, not an
+		// allocation count: delta reports shrink with unchanged counters.
+		results = append(results, hotpathResult{
+			Name: "FrameBytes/" + name, NsPerOp: float64(wireBytes), N: 1,
+		})
+	}
+	gate := results[0]
+	if !strings.HasPrefix(gate.Name, "CodecPollCycle/"+wire.CodecName) {
+		return fmt.Errorf("netbench: contract row moved: %s", gate.Name)
+	}
+	if gate.AllocsPerOp != 0 {
+		return fmt.Errorf("netbench: steady-state binary poll cycle allocates %d allocs/op, want 0 (per-connection buffer reuse regressed?)", gate.AllocsPerOp)
+	}
+
+	// Relay-tree pass latency over pipe fleets: how the 2-level tree's
+	// wall-clock round scales with agent count.
+	for _, f := range strings.Split(*fleets, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("netbench: bad -fleets entry %q", f)
+		}
+		mean, peak, err := treePassLatency(n, *fanout, *rounds)
+		if err != nil {
+			return err
+		}
+		results = append(results,
+			hotpathResult{Name: fmt.Sprintf("TreePass/mean-%dagents", n), NsPerOp: float64(mean.Nanoseconds()), N: *rounds},
+			hotpathResult{Name: fmt.Sprintf("TreePass/peak-%dagents", n), NsPerOp: float64(peak.Nanoseconds()), N: *rounds},
+		)
+		fmt.Printf("netbench: %d agents, %d rounds: mean pass %v, peak %v\n", n, *rounds, mean.Round(time.Microsecond), peak.Round(time.Microsecond))
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("netbench: binary poll cycle %d allocs/op (gate 0)\n", gate.AllocsPerOp)
+	fmt.Printf("(written to %s)\n", outPath)
+	return nil
+}
+
+// memEnd is an in-memory net.Conn half for single-threaded codec
+// benchmarks: reads drain in, writes land in out.
+type memEnd struct {
+	in, out *bytes.Buffer
+}
+
+func (e *memEnd) Read(p []byte) (int, error)       { return e.in.Read(p) }
+func (e *memEnd) Write(p []byte) (int, error)      { return e.out.Write(p) }
+func (e *memEnd) Close() error                     { return nil }
+func (e *memEnd) LocalAddr() net.Addr              { return memAddr{} }
+func (e *memEnd) RemoteAddr() net.Addr             { return memAddr{} }
+func (e *memEnd) SetDeadline(time.Time) error      { return nil }
+func (e *memEnd) SetReadDeadline(time.Time) error  { return nil }
+func (e *memEnd) SetWriteDeadline(time.Time) error { return nil }
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+// codecCycle builds a warmed coordinator↔agent conn pair and returns one
+// poll round trip as a closure, plus the steady-state report frame size
+// on the wire.
+func codecCycle(cpus int, binary bool) (func() error, int, error) {
+	coordToAgent := &bytes.Buffer{}
+	agentToCoord := &bytes.Buffer{}
+	coord := wire.NewConn(&memEnd{in: agentToCoord, out: coordToAgent}, wire.Options{})
+	agent := wire.NewConn(&memEnd{in: coordToAgent, out: agentToCoord}, wire.Options{Mirror: true})
+	coord.SetBinary(binary)
+
+	rep := &proto.CounterReport{CPUs: make([]proto.CPUReport, cpus), CPUPowerW: 412.75}
+	for i := range rep.CPUs {
+		rep.CPUs[i] = proto.CPUReport{
+			WindowSec:    0.08,
+			Instructions: 2_400_000_000 + uint64(i),
+			Cycles:       3_100_000_000 + uint64(i),
+			HaltedCycles: 500_000_000,
+			L2Refs:       40_000_000,
+			L3Refs:       9_000_000,
+			MemRefs:      2_000_000,
+		}
+	}
+	reqMsg := &proto.Message{Kind: proto.KindCounterRequest, ID: 1,
+		Trace:          &proto.TraceContext{PassID: 1},
+		CounterRequest: &proto.CounterRequest{AdvanceQuanta: 10, WindowQuanta: 10}}
+	repMsg := &proto.Message{Kind: proto.KindCounterReport, ID: 1, CounterReport: rep}
+	var reportBytes int
+	cycle := func() error {
+		coordToAgent.Reset()
+		agentToCoord.Reset()
+		if err := coord.Send(reqMsg); err != nil {
+			return err
+		}
+		if _, err := agent.Recv(); err != nil {
+			return err
+		}
+		if err := agent.Send(repMsg); err != nil {
+			return err
+		}
+		reportBytes = agentToCoord.Len()
+		if _, err := coord.Recv(); err != nil {
+			return err
+		}
+		return nil
+	}
+	for i := 0; i < 16; i++ { // warm buffers and delta state
+		if err := cycle(); err != nil {
+			return nil, 0, err
+		}
+	}
+	return cycle, reportBytes, nil
+}
+
+// treePassLatency drives agents through a 2-level pipe-transport relay
+// tree with the binary codec for the given number of rounds and returns
+// the mean and peak root pass latency.
+func treePassLatency(agents, fanout, rounds int) (mean, peak time.Duration, err error) {
+	pd := netcluster.NewPipeDialer(nil)
+	fcfg := fvsst.DefaultConfig()
+	fcfg.UseIdleSignal = true
+	nRelays := (agents + fanout - 1) / fanout
+	budget := units.Watts(40 * float64(agents))
+
+	prog, err := workload.App("gzip", workload.AppScale(0.25))
+	if err != nil {
+		return 0, 0, err
+	}
+	var closers []interface{ Close() error }
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	relaySpecs := make([]netcluster.NodeSpec, 0, nRelays)
+	for j, lo := 0, 0; j < nRelays; j++ {
+		hi := lo + fanout
+		if hi > agents {
+			hi = agents
+		}
+		specs := make([]netcluster.NodeSpec, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			mcfg := machine.P630Config()
+			mcfg.NumCPUs = 1
+			mcfg.Seed = int64(1 + i)
+			m, err := machine.New(mcfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			mix, err := workload.NewMix(prog)
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := m.SetMix(0, mix); err != nil {
+				return 0, 0, err
+			}
+			name := "n" + strconv.Itoa(i)
+			a, err := netcluster.NewAgent(netcluster.AgentConfig{Name: name, M: m})
+			if err != nil {
+				return 0, 0, err
+			}
+			closers = append(closers, a)
+			pd.Register(name, a)
+			specs = append(specs, netcluster.NodeSpec{Name: name, Addr: name})
+		}
+		lo = hi
+		name := "relay" + strconv.Itoa(j)
+		sub, err := netcluster.NewCoordinator(netcluster.Config{
+			Name: name, Fvsst: fcfg, Budget: budget, MissK: 3,
+			RPCTimeout: 30 * time.Second, Seed: int64(j + 1),
+			Dialer: pd, Codec: wire.CodecName,
+		}, specs...)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := sub.Connect(); err != nil {
+			sub.Close()
+			return 0, 0, err
+		}
+		relay, err := netcluster.NewRelay(netcluster.RelayConfig{Name: name}, sub)
+		if err != nil {
+			sub.Close()
+			return 0, 0, err
+		}
+		closers = append(closers, relay)
+		pd.Register(name, relay)
+		relaySpecs = append(relaySpecs, netcluster.NodeSpec{Name: name, Addr: name})
+	}
+
+	root, err := netcluster.NewRoot(netcluster.Config{
+		Name: "root", Fvsst: fcfg, Budget: budget, MissK: 3,
+		RPCTimeout: 30 * time.Second, Seed: 1,
+		Dialer: pd, Codec: wire.CodecName,
+	}, relaySpecs...)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer root.Close()
+	if err := root.Connect(); err != nil {
+		return 0, 0, err
+	}
+	for r := 0; r < rounds; r++ {
+		if err := root.RunRound(); err != nil {
+			return 0, 0, err
+		}
+	}
+	var total time.Duration
+	for _, d := range root.RootDecisions() {
+		total += d.PassDur
+		if d.PassDur > peak {
+			peak = d.PassDur
+		}
+		if d.Charged > d.Budget {
+			return 0, 0, fmt.Errorf("netbench: charged %v exceeds budget %v in a fault-free tree round", d.Charged, d.Budget)
+		}
+	}
+	return total / time.Duration(rounds), peak, nil
+}

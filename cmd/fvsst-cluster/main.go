@@ -38,6 +38,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/netcluster"
 	"repro/internal/netcluster/faultnet"
+	"repro/internal/netcluster/proto"
+	"repro/internal/netcluster/wire"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/units"
@@ -47,6 +49,7 @@ import (
 // options is the flag set, separated from main so tests can drive runs.
 type options struct {
 	nodes        int
+	cpus         int
 	budgetW      float64
 	scheduleSpec string
 	dropToW      float64
@@ -62,6 +65,10 @@ type options struct {
 	rpcTimeout   time.Duration
 	lease        time.Duration
 	logEvery     int
+	relays       int
+	transport    string
+	codec        string
+	maxPassLat   time.Duration
 	tracePath    string
 	metricsPath  string
 	metricsAddr  string
@@ -71,10 +78,12 @@ type options struct {
 // result summarises a run for the safety check and the smoke test.
 type result struct {
 	decisions  []netcluster.Decision
+	rootDecs   []netcluster.RootDecision
 	status     []netcluster.NodeStatus
 	violations int
 	degrades   int
 	rejoins    int
+	maxPass    time.Duration
 }
 
 // transitionLog prints and counts degrade/rejoin/failsafe events as they
@@ -102,12 +111,18 @@ func (l *transitionLog) Emit(e obs.Event) {
 // load.
 var apps = []string{"gzip", "mcf", "gap", "health"}
 
-func buildAgents(o options, sink obs.Sink) ([]*netcluster.Agent, []netcluster.NodeSpec, error) {
+// buildAgents spawns the node agents. With a pipe dialer the agents never
+// bind a listener: they register under their name, which doubles as the
+// dial address.
+func buildAgents(o options, sink obs.Sink, pd *netcluster.PipeDialer) ([]*netcluster.Agent, []netcluster.NodeSpec, error) {
 	agents := make([]*netcluster.Agent, o.nodes)
 	specs := make([]netcluster.NodeSpec, o.nodes)
 	for i := 0; i < o.nodes; i++ {
 		mcfg := machine.P630Config()
 		mcfg.Seed = o.seed + int64(i)
+		if o.cpus > 0 {
+			mcfg.NumCPUs = o.cpus
+		}
 		m, err := machine.New(mcfg)
 		if err != nil {
 			return nil, nil, err
@@ -135,11 +150,16 @@ func buildAgents(o options, sink obs.Sink) ([]*netcluster.Agent, []netcluster.No
 		if err != nil {
 			return nil, nil, err
 		}
-		if err := a.Start(); err != nil {
-			return nil, nil, err
+		if pd != nil {
+			pd.Register(name, a)
+			specs[i] = netcluster.NodeSpec{Name: name, Addr: name}
+		} else {
+			if err := a.Start(); err != nil {
+				return nil, nil, err
+			}
+			specs[i] = netcluster.NodeSpec{Name: name, Addr: a.Addr()}
 		}
 		agents[i] = a
-		specs[i] = netcluster.NodeSpec{Name: name, Addr: a.Addr()}
 	}
 	return agents, specs, nil
 }
@@ -149,7 +169,26 @@ func run(o options, out io.Writer) (result, error) {
 	if o.nodes < 1 {
 		return res, fmt.Errorf("need at least one node")
 	}
-	if o.partition >= o.nodes {
+	switch o.transport {
+	case "", "tcp", "pipe":
+	default:
+		return res, fmt.Errorf("-transport must be tcp or pipe, not %q", o.transport)
+	}
+	codec := o.codec
+	if codec == "json" {
+		codec = ""
+	}
+	if codec != "" && codec != wire.CodecName {
+		return res, fmt.Errorf("-codec must be json or %s, not %q", wire.CodecName, o.codec)
+	}
+	if o.relays > 0 {
+		if o.relays > o.nodes {
+			return res, fmt.Errorf("%d relays for %d nodes", o.relays, o.nodes)
+		}
+		if o.partition >= o.relays {
+			return res, fmt.Errorf("partition target %d out of range for %d relays (relay mode partitions root↔relay links)", o.partition, o.relays)
+		}
+	} else if o.partition >= o.nodes {
 		return res, fmt.Errorf("partition target %d out of range for %d nodes", o.partition, o.nodes)
 	}
 
@@ -183,7 +222,12 @@ func run(o options, out io.Writer) (result, error) {
 	}
 	sink := obs.Tee(sinks...)
 
-	agents, specs, err := buildAgents(o, sink)
+	wireStats := &wire.Stats{}
+	var pd *netcluster.PipeDialer
+	if o.transport == "pipe" {
+		pd = netcluster.NewPipeDialer(wireStats)
+	}
+	agents, specs, err := buildAgents(o, sink, pd)
 	if err != nil {
 		return res, err
 	}
@@ -195,46 +239,7 @@ func run(o options, out io.Writer) (result, error) {
 		}
 	}()
 
-	fabric := faultnet.New(o.seed + 1000)
-	cfg := fvsst.DefaultConfig()
-	cfg.Epsilon = o.epsilon
-	cfg.UseIdleSignal = true
-	ccfg := netcluster.Config{
-		Fvsst:      cfg,
-		Budget:     units.Watts(o.budgetW),
-		MissK:      o.missK,
-		RPCTimeout: o.rpcTimeout,
-		Seed:       o.seed,
-		Dialer:     fabric,
-		Sink:       sink,
-		Metrics:    netcluster.NewMetrics(),
-	}
-	switch {
-	case o.scheduleSpec != "":
-		// The farm layer's budget-source plumbing: the spec becomes a
-		// farm.BudgetSource, the same interface hierarchical allocation
-		// feeds clusters through.
-		ccfg.Source, err = farm.ParseScheduleSpec(o.scheduleSpec)
-		if err != nil {
-			return res, fmt.Errorf("-budget-schedule: %w", err)
-		}
-		ccfg.Budget = ccfg.Source.BudgetAt(0)
-	case o.dropToW > 0 && o.dropAt > 0:
-		ccfg.Budgets, err = power.NewBudgetSchedule(units.Watts(o.budgetW),
-			power.BudgetEvent{At: o.dropAt, Budget: units.Watts(o.dropToW), Label: "budget drop"})
-		if err != nil {
-			return res, err
-		}
-	}
-	coord, err := netcluster.NewCoordinator(ccfg, specs...)
-	if err != nil {
-		return res, err
-	}
-	if err := coord.Connect(); err != nil {
-		return res, err
-	}
-	defer coord.Close()
-
+	metrics := netcluster.NewMetrics()
 	if o.metricsAddr != "" {
 		// Bind synchronously so an unusable address fails the run up front
 		// instead of racing against a short simulation (same contract as
@@ -248,11 +253,123 @@ func run(o options, out io.Writer) (result, error) {
 		// the port, and scripts need to learn which one.
 		fmt.Fprintf(out, "metrics endpoint listening on %s\n", ln.Addr())
 		go func() {
-			if err := http.Serve(ln, ccfg.Metrics.Registry.Handler()); err != nil && !errors.Is(err, net.ErrClosed) {
+			if err := http.Serve(ln, metrics.Registry.Handler()); err != nil && !errors.Is(err, net.ErrClosed) {
 				log.Printf("metrics endpoint: %v", err)
 			}
 		}()
 	}
+
+	if o.relays > 0 {
+		err = runTree(o, out, sink, metrics, wireStats, codec, pd, specs, &res)
+	} else {
+		err = runFlat(o, out, sink, metrics, wireStats, codec, pd, specs, &res)
+	}
+	if err != nil {
+		return res, err
+	}
+	res.degrades = transitions.degrades
+	res.rejoins = transitions.rejoins
+
+	if ledger != nil {
+		fmt.Fprintln(out)
+		if err := ledger.Summary().WriteText(out, reportSections); err != nil {
+			return res, err
+		}
+	}
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(out, "decision trace written to %s\n", o.tracePath)
+	}
+	if o.metricsPath != "" {
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			return res, err
+		}
+		if err := metrics.Registry.WritePrometheus(f); err != nil {
+			return res, err
+		}
+		if err := f.Close(); err != nil {
+			return res, err
+		}
+		fmt.Fprintf(out, "metrics written to %s\n", o.metricsPath)
+	}
+	return res, nil
+}
+
+// budgetConfig wires the flags' budget trajectory into the coordinator
+// config: an explicit schedule spec through the farm budget-source
+// plumbing (the same interface hierarchical allocation feeds clusters
+// through), or the legacy one-drop flags.
+func budgetConfig(o options, ccfg *netcluster.Config) error {
+	switch {
+	case o.scheduleSpec != "":
+		src, err := farm.ParseScheduleSpec(o.scheduleSpec)
+		if err != nil {
+			return fmt.Errorf("-budget-schedule: %w", err)
+		}
+		ccfg.Source = src
+		ccfg.Budget = src.BudgetAt(0)
+	case o.dropToW > 0 && o.dropAt > 0:
+		sched, err := power.NewBudgetSchedule(units.Watts(o.budgetW),
+			power.BudgetEvent{At: o.dropAt, Budget: units.Watts(o.dropToW), Label: "budget drop"})
+		if err != nil {
+			return err
+		}
+		ccfg.Budgets = sched
+	}
+	return nil
+}
+
+// newFabric builds the seeded fault fabric over the selected transport;
+// every connection shares the run's codec counters.
+func newFabric(o options, pd *netcluster.PipeDialer, stats *wire.Stats) *faultnet.Network {
+	fabric := faultnet.New(o.seed + 1000)
+	if pd != nil {
+		fabric.SetTransport(pd.DialTransport)
+	} else {
+		fabric.SetTransport(func(addr string, timeout time.Duration) (proto.Conn, error) {
+			return wire.DialStats(addr, timeout, stats)
+		})
+	}
+	return fabric
+}
+
+func fvsstConfig(o options) fvsst.Config {
+	cfg := fvsst.DefaultConfig()
+	cfg.Epsilon = o.epsilon
+	cfg.UseIdleSignal = true
+	return cfg
+}
+
+// runFlat drives the fleet through one flat coordinator (the original
+// topology): every agent is a direct child.
+func runFlat(o options, out io.Writer, sink obs.Sink, metrics *netcluster.Metrics, stats *wire.Stats, codec string, pd *netcluster.PipeDialer, specs []netcluster.NodeSpec, res *result) error {
+	fabric := newFabric(o, pd, stats)
+	ccfg := netcluster.Config{
+		Fvsst:      fvsstConfig(o),
+		Budget:     units.Watts(o.budgetW),
+		MissK:      o.missK,
+		RPCTimeout: o.rpcTimeout,
+		Seed:       o.seed,
+		Dialer:     fabric,
+		Sink:       sink,
+		Metrics:    metrics,
+		Codec:      codec,
+		WireStats:  stats,
+	}
+	if err := budgetConfig(o, &ccfg); err != nil {
+		return err
+	}
+	coord, err := netcluster.NewCoordinator(ccfg, specs...)
+	if err != nil {
+		return err
+	}
+	if err := coord.Connect(); err != nil {
+		return err
+	}
+	defer coord.Close()
 
 	partitionName := ""
 	if o.partition >= 0 {
@@ -277,7 +394,7 @@ func run(o options, out io.Writer) (result, error) {
 			}
 		}
 		if err := coord.RunRound(); err != nil {
-			return res, err
+			return err
 		}
 		d := coord.Decisions()[len(coord.Decisions())-1]
 		if d.Charged > d.Budget {
@@ -299,8 +416,6 @@ func run(o options, out io.Writer) (result, error) {
 
 	res.decisions = coord.Decisions()
 	res.status = coord.Status()
-	res.degrades = transitions.degrades
-	res.rejoins = transitions.rejoins
 
 	fmt.Fprintf(out, "\nfinished at t=%.2fs after %d rounds\n", coord.Now(), len(res.decisions))
 	for _, st := range res.status {
@@ -318,38 +433,187 @@ func run(o options, out io.Writer) (result, error) {
 	}
 	fmt.Fprintf(out, "budget safety: %d violations across %d rounds; peak charged/budget %.0f%%\n",
 		res.violations, len(res.decisions), 100*worst)
+	return nil
+}
 
-	if ledger != nil {
-		fmt.Fprintln(out)
-		if err := ledger.Summary().WriteText(out, reportSections); err != nil {
-			return res, err
+// runTree drives the fleet through a 2-level tree: the nodes split into
+// contiguous groups, each behind a relay (agent protocol upward,
+// coordinator protocol downward), with one root dividing the global
+// budget across the relays' aggregated demand curves. The partition flag
+// targets a relay: cutting a root↔relay link freezes a whole subtree,
+// which the root charges at its last acknowledged draw.
+func runTree(o options, out io.Writer, sink obs.Sink, metrics *netcluster.Metrics, stats *wire.Stats, codec string, pd *netcluster.PipeDialer, specs []netcluster.NodeSpec, res *result) error {
+	cfg := fvsstConfig(o)
+	relays := make([]*netcluster.Relay, 0, o.relays)
+	defer func() {
+		for _, r := range relays {
+			r.Close()
 		}
-	}
-	if trace != nil {
-		if err := trace.Close(); err != nil {
-			return res, err
+	}()
+	relaySpecs := make([]netcluster.NodeSpec, o.relays)
+	base, extra := o.nodes/o.relays, o.nodes%o.relays
+	lo := 0
+	for j := 0; j < o.relays; j++ {
+		size := base
+		if j < extra {
+			size++
 		}
-		fmt.Fprintf(out, "decision trace written to %s\n", o.tracePath)
-	}
-	if o.metricsPath != "" {
-		f, err := os.Create(o.metricsPath)
+		var dialer netcluster.Dialer
+		if pd != nil {
+			dialer = pd
+		} else {
+			dialer = &netcluster.TCPDialer{Stats: stats}
+		}
+		name := fmt.Sprintf("relay%d", j)
+		sub, err := netcluster.NewCoordinator(netcluster.Config{
+			Name:       name,
+			Fvsst:      cfg,
+			Budget:     units.Watts(o.budgetW),
+			MissK:      o.missK,
+			RPCTimeout: o.rpcTimeout,
+			Seed:       o.seed + int64(j) + 1,
+			Dialer:     dialer,
+			Codec:      codec,
+		}, specs[lo:lo+size]...)
 		if err != nil {
-			return res, err
+			return err
 		}
-		if err := ccfg.Metrics.Registry.WritePrometheus(f); err != nil {
-			return res, err
+		if err := sub.Connect(); err != nil {
+			sub.Close()
+			return err
 		}
-		if err := f.Close(); err != nil {
-			return res, err
+		lo += size
+		relay, err := netcluster.NewRelay(netcluster.RelayConfig{Name: name}, sub)
+		if err != nil {
+			sub.Close()
+			return err
 		}
-		fmt.Fprintf(out, "metrics written to %s\n", o.metricsPath)
+		relays = append(relays, relay)
+		if pd != nil {
+			pd.Register(name, relay)
+			relaySpecs[j] = netcluster.NodeSpec{Name: name, Addr: name}
+		} else {
+			if err := relay.Start(); err != nil {
+				return err
+			}
+			relaySpecs[j] = netcluster.NodeSpec{Name: name, Addr: relay.Addr()}
+		}
 	}
-	return res, nil
+
+	fabric := newFabric(o, pd, stats)
+	ccfg := netcluster.Config{
+		Name:       "root",
+		Fvsst:      cfg,
+		Budget:     units.Watts(o.budgetW),
+		MissK:      o.missK,
+		RPCTimeout: o.rpcTimeout,
+		Seed:       o.seed,
+		Dialer:     fabric,
+		Sink:       sink,
+		Metrics:    metrics,
+		Codec:      codec,
+		WireStats:  stats,
+	}
+	if err := budgetConfig(o, &ccfg); err != nil {
+		return err
+	}
+	root, err := netcluster.NewRoot(ccfg, relaySpecs...)
+	if err != nil {
+		return err
+	}
+	if err := root.Connect(); err != nil {
+		return err
+	}
+	defer root.Close()
+
+	partitionName := ""
+	if o.partition >= 0 {
+		partitionName = relaySpecs[o.partition].Name
+	}
+	partitionEnd := o.partitionAt + o.partitionFor
+	cut := false
+	timerRounds := 0
+	transport := o.transport
+	if transport == "" {
+		transport = "tcp"
+	}
+	fmt.Fprintf(out, "%d nodes up behind %d relays (%s transport); budget %.0fW; seed %d\n",
+		o.nodes, o.relays, transport, o.budgetW, o.seed)
+	for root.Now() < o.duration {
+		now := root.Now()
+		if partitionName != "" {
+			if !cut && now >= o.partitionAt && now < partitionEnd {
+				fabric.Partition(partitionName)
+				cut = true
+				fmt.Fprintf(out, "t=%.2f  PARTITION %s cut off\n", now, partitionName)
+			}
+			if cut && now >= partitionEnd {
+				fabric.Heal(partitionName)
+				cut = false
+				fmt.Fprintf(out, "t=%.2f  HEAL     %s reachable again\n", now, partitionName)
+			}
+		}
+		if err := root.RunRound(); err != nil {
+			return err
+		}
+		decs := root.RootDecisions()
+		d := decs[len(decs)-1]
+		if d.PassDur > res.maxPass {
+			res.maxPass = d.PassDur
+		}
+		if d.Charged > d.Budget {
+			res.violations++
+		}
+		interesting := d.Trigger != "timer" || len(d.Degraded) > 0 || d.Charged > d.Budget
+		if d.Trigger == "timer" {
+			timerRounds++
+		}
+		if interesting || (o.logEvery > 0 && timerRounds%o.logEvery == 0) {
+			degraded := ""
+			if len(d.Degraded) > 0 {
+				degraded = "  degraded=" + strings.Join(d.Degraded, ",")
+			}
+			fmt.Fprintf(out, "t=%.2f  %-13s budget=%v charged=%v reserved=%v met=%v pass=%v%s\n",
+				d.At, d.Trigger, d.Budget, d.Charged, d.Reserved, d.BudgetMet, d.PassDur.Round(time.Microsecond), degraded)
+		}
+	}
+
+	res.rootDecs = root.RootDecisions()
+	res.status = root.Status()
+
+	fmt.Fprintf(out, "\nfinished at t=%.2fs after %d rounds; peak pass latency %v\n",
+		root.Now(), len(res.rootDecs), res.maxPass.Round(time.Microsecond))
+	for _, st := range res.status {
+		state := "ok"
+		if st.Degraded {
+			state = "DEGRADED"
+		}
+		fmt.Fprintf(out, "  %-8s %-8s charge-if-silent %v\n", st.Name, state, st.ChargedIfSilent)
+	}
+	worst := 0.0
+	for _, d := range res.rootDecs {
+		if r := d.Charged.W() / d.Budget.W(); r > worst {
+			worst = r
+		}
+	}
+	fmt.Fprintf(out, "budget safety: %d violations across %d rounds; peak charged/budget %.0f%%\n",
+		res.violations, len(res.rootDecs), 100*worst)
+	if codec == wire.CodecName {
+		snap := stats.Snapshot()
+		fmt.Fprintf(out, "wire: %d binary frames out, %d in; %d delta reports received\n",
+			snap.BinFramesOut, snap.BinFramesIn, snap.DeltaIn)
+	}
+	return nil
 }
 
 func main() {
 	var o options
 	flag.IntVar(&o.nodes, "nodes", 3, "number of node agents to spawn")
+	flag.IntVar(&o.cpus, "cpus", 0, "CPUs per node (0 = machine config default)")
+	flag.IntVar(&o.relays, "relays", 0, "relay coordinators in a 2-level tree (0 = flat single coordinator)")
+	flag.StringVar(&o.transport, "transport", "tcp", "agent transport: tcp sockets or in-process pipes (pipe scales past fd limits)")
+	flag.StringVar(&o.codec, "codec", "json", "hot-message codec: json or bin1 (negotiated binary with delta counter reports)")
+	flag.DurationVar(&o.maxPassLat, "max-pass-latency", 0, "fail the run if any relay-tree pass exceeds this wall-clock latency (0 = report only)")
 	flag.Float64Var(&o.budgetW, "budget", 900, "initial global CPU power budget (watts)")
 	flag.StringVar(&o.scheduleSpec, "budget-schedule", "", `budget schedule "W0,t1:W1,..." (overrides -budget/-drop-to/-drop-at)`)
 	flag.Float64Var(&o.dropToW, "drop-to", 600, "budget after the drop (watts, 0 = never drops)")
@@ -377,5 +641,8 @@ func main() {
 	}
 	if res.violations > 0 {
 		log.Fatalf("budget safety violated in %d rounds", res.violations)
+	}
+	if o.maxPassLat > 0 && res.maxPass > o.maxPassLat {
+		log.Fatalf("peak pass latency %v exceeds -max-pass-latency %v", res.maxPass, o.maxPassLat)
 	}
 }

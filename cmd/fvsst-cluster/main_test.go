@@ -206,6 +206,65 @@ func TestTraceReconstructsPasses(t *testing.T) {
 	}
 }
 
+// TestRelayTreeScenario drives the 2-level tree over the in-process pipe
+// transport with the binary codec: budget drop mid-run, one relay
+// partitioned and healed. Charged power must never exceed the budget
+// (the frozen subtree is charged its last acknowledged draw) and every
+// pass must report a latency.
+func TestRelayTreeScenario(t *testing.T) {
+	o := options{
+		nodes:        6,
+		relays:       2,
+		transport:    "pipe",
+		codec:        "bin1",
+		budgetW:      1800,
+		dropToW:      1200,
+		dropAt:       1,
+		partition:    1,
+		partitionAt:  0.5,
+		partitionFor: 1,
+		duration:     3,
+		epsilon:      0.05,
+		scale:        0.5,
+		seed:         1,
+		missK:        3,
+		rpcTimeout:   200 * time.Millisecond,
+		logEvery:     5,
+	}
+	var out strings.Builder
+	res, err := run(o, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if res.violations != 0 {
+		t.Errorf("charged power exceeded the budget in %d rounds\noutput:\n%s", res.violations, out.String())
+	}
+	if len(res.rootDecs) == 0 {
+		t.Fatal("no root decisions recorded")
+	}
+	if res.maxPass <= 0 {
+		t.Error("no pass latency recorded")
+	}
+	if res.degrades < 1 || res.rejoins < 1 {
+		t.Errorf("%d degrades and %d rejoins; want the partitioned relay to leave and return", res.degrades, res.rejoins)
+	}
+	for _, st := range res.status {
+		if st.Degraded {
+			t.Errorf("%s still degraded at the end of the run", st.Name)
+		}
+	}
+	first, last := res.rootDecs[0], res.rootDecs[len(res.rootDecs)-1]
+	if first.Budget.W() != 1800 || last.Budget.W() != 1200 {
+		t.Errorf("budget trajectory %v → %v, want 1800W → 1200W", first.Budget, last.Budget)
+	}
+	text := out.String()
+	for _, want := range []string{"PARTITION relay1", "HEAL", "peak pass latency", "budget safety: 0 violations", "binary frames"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if _, err := run(options{nodes: 0}, &strings.Builder{}); err == nil {
 		t.Error("zero nodes accepted")

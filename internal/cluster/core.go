@@ -164,23 +164,41 @@ func (c *Core) stepOne(inputs []ProcInput) error {
 // table minimum. Only the grid rows a scheduling pass fills anyway are
 // evaluated, so the curve costs no extra prediction work.
 func (c *Core) DemandCurve(inputs []ProcInput) (farm.DemandCurve, error) {
+	curve, _, err := c.DemandCurveDesired(inputs)
+	return curve, err
+}
+
+// DemandCurveDesired is DemandCurve plus a copy of the Step-1 desired
+// table index per processor — the relay tier ships both upward so a root
+// coordinator can replay the flat Step-2 arithmetic exactly
+// (farm.DivideLeastLossExact). Each point's Power is re-summed from
+// scratch in processor order, the same accumulation fvsst.FitToBudgetGrid
+// uses for its stop test, so a member handed Points[k].Power as its
+// budget demotes to exactly point k.
+func (c *Core) DemandCurveDesired(inputs []ProcInput) (farm.DemandCurve, []int, error) {
 	if len(inputs) == 0 {
-		return farm.DemandCurve{}, fmt.Errorf("cluster: demand curve needs at least one processor")
+		return farm.DemandCurve{}, nil, fmt.Errorf("cluster: demand curve needs at least one processor")
 	}
 	if err := c.stepOne(inputs); err != nil {
-		return farm.DemandCurve{}, err
+		return farm.DemandCurve{}, nil, err
 	}
 	copy(c.actualIdx, c.desiredIdx)
+	desired := append([]int(nil), c.desiredIdx...)
 
-	var sumPower units.Power
+	sumAt := func() units.Power {
+		var s units.Power
+		for _, idx := range c.actualIdx {
+			s += c.cfg.Table.PowerAtIndex(idx)
+		}
+		return s
+	}
 	var sumLoss float64
 	for i, idx := range c.actualIdx {
-		sumPower += c.cfg.Table.PowerAtIndex(idx)
 		if c.grid.Valid(i) {
 			sumLoss += c.grid.Loss(i, idx)
 		}
 	}
-	curve := farm.DemandCurve{Points: []farm.DemandPoint{{Power: sumPower, Loss: sumLoss}}}
+	curve := farm.DemandCurve{Points: []farm.DemandPoint{{Power: sumAt(), Loss: sumLoss}}}
 	for {
 		best := -1
 		bestLoss := math.Inf(1)
@@ -197,16 +215,19 @@ func (c *Core) DemandCurve(inputs []ProcInput) (farm.DemandCurve, error) {
 			}
 		}
 		if best < 0 {
-			return curve, nil // every processor at the floor
+			return curve, desired, nil // every processor at the floor
 		}
 		idx := c.actualIdx[best]
-		sumPower -= c.cfg.Table.PowerAtIndex(idx) - c.cfg.Table.PowerAtIndex(idx-1)
 		if c.grid.Valid(best) {
 			sumLoss += c.grid.Loss(best, idx-1) - c.grid.Loss(best, idx)
 		}
 		c.actualIdx[best] = idx - 1
 		prev := curve.Points[len(curve.Points)-1]
-		p := farm.DemandPoint{Power: sumPower, Loss: sumLoss}
+		p := farm.DemandPoint{
+			Power: sumAt(),
+			Loss:  sumLoss,
+			Step:  farm.StepKey{Loss: bestLoss, Idx: idx, Proc: best},
+		}
 		if p.Loss < prev.Loss {
 			p.Loss = prev.Loss // absorb float jitter; model loss is monotone in frequency
 		}

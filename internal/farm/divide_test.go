@@ -1,0 +1,234 @@
+package farm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/units"
+)
+
+// divideTable is a small synthetic operating-point table; only
+// PowerAtIndex matters for the division arithmetic.
+func divideTable(t *testing.T) *power.Table {
+	t.Helper()
+	tab, err := power.NewTable([]power.OperatingPoint{
+		{F: units.MHz(600), V: units.Volts(1.0), P: units.Watts(20)},
+		{F: units.MHz(800), V: units.Volts(1.1), P: units.Watts(35)},
+		{F: units.MHz(1000), V: units.Volts(1.2), P: units.Watts(55)},
+		{F: units.MHz(1200), V: units.Volts(1.3), P: units.Watts(80)},
+		{F: units.MHz(1400), V: units.Volts(1.4), P: units.Watts(110)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// member is a synthetic cluster for the divide tests: per-processor
+// desired indices and a loss for every (proc, idx) pair.
+type member struct {
+	desired []int
+	loss    [][]float64 // loss[proc][idx]; non-increasing in idx
+}
+
+// localGreedy builds the member's demand curve the way
+// cluster.Core.DemandCurveDesired does: repeatedly demote the processor
+// whose next-lower-index loss is smallest (ties toward the higher
+// current index, then the earlier processor), recording the step key of
+// each demotion.
+func localGreedy(m member, tab *power.Table) DemandCurve {
+	idx := append([]int(nil), m.desired...)
+	sum := func() units.Power {
+		var s units.Power
+		for _, i := range idx {
+			s += tab.PowerAtIndex(i)
+		}
+		return s
+	}
+	var sumLoss float64
+	for p, i := range idx {
+		sumLoss += m.loss[p][i]
+	}
+	curve := DemandCurve{Points: []DemandPoint{{Power: sum(), Loss: sumLoss}}}
+	for {
+		best, bestLoss := -1, 0.0
+		for p, i := range idx {
+			if i == 0 {
+				continue
+			}
+			l := m.loss[p][i-1]
+			if best < 0 || l < bestLoss || (l == bestLoss && i > idx[best]) {
+				best, bestLoss = p, l
+			}
+		}
+		if best < 0 {
+			return curve
+		}
+		pre := idx[best]
+		sumLoss += m.loss[best][pre-1] - m.loss[best][pre]
+		idx[best] = pre - 1
+		curve.Points = append(curve.Points, DemandPoint{
+			Power: sum(),
+			Loss:  sumLoss,
+			Step:  StepKey{Loss: bestLoss, Idx: pre, Proc: best},
+		})
+	}
+}
+
+// flatGreedy runs the same greedy over the concatenation of every
+// member's processors — the flat Step-2 reference the division must
+// reproduce — returning the final per-processor indices.
+func flatGreedy(members []member, tab *power.Table, budget units.Power) ([]int, bool) {
+	var idx []int
+	var loss [][]float64
+	for _, m := range members {
+		idx = append(idx, m.desired...)
+		loss = append(loss, m.loss...)
+	}
+	for {
+		var sum units.Power
+		for _, i := range idx {
+			sum += tab.PowerAtIndex(i)
+		}
+		if sum <= budget {
+			return idx, true
+		}
+		best, bestLoss := -1, 0.0
+		for p, i := range idx {
+			if i == 0 {
+				continue
+			}
+			l := loss[p][i-1]
+			if best < 0 || l < bestLoss || (l == bestLoss && i > idx[best]) {
+				best, bestLoss = p, l
+			}
+		}
+		if best < 0 {
+			return idx, false
+		}
+		idx[best]--
+	}
+}
+
+// applyCurve replays a member's first pos demotions onto its desired
+// indices, converting a curve position back into per-processor indices.
+func applyCurve(m member, c DemandCurve, pos int) []int {
+	idx := append([]int(nil), m.desired...)
+	for k := 1; k <= pos; k++ {
+		idx[c.Points[k].Step.Proc] = c.Points[k].Step.Idx - 1
+	}
+	return idx
+}
+
+func randomMember(rng *rand.Rand, nProc, tableLen int) member {
+	m := member{desired: make([]int, nProc), loss: make([][]float64, nProc)}
+	for p := 0; p < nProc; p++ {
+		m.desired[p] = 1 + rng.Intn(tableLen-1)
+		// Loss is non-increasing as the index rises toward the desire,
+		// zero at and above the desired point — the shape the predictor
+		// produces. Build it downward from the desire.
+		row := make([]float64, tableLen)
+		acc := 0.0
+		for i := m.desired[p] - 1; i >= 0; i-- {
+			acc += rng.Float64() * 0.1
+			row[i] = acc
+		}
+		m.loss[p] = row
+	}
+	return m
+}
+
+// TestDivideMatchesFlatGreedy is the merge property the relay tier
+// depends on: interleaving locally-greedy demand curves by step key
+// reproduces the flat greedy over the union, for every budget level.
+func TestDivideMatchesFlatGreedy(t *testing.T) {
+	tab := divideTable(t)
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nMembers := 2 + rng.Intn(3)
+		members := make([]member, nMembers)
+		curves := make([]DemandCurve, nMembers)
+		offsets := make([]int, nMembers)
+		desired := make([][]int, nMembers)
+		total := 0
+		for i := range members {
+			members[i] = randomMember(rng, 1+rng.Intn(4), tab.Len())
+			curves[i] = localGreedy(members[i], tab)
+			offsets[i] = total
+			total += len(members[i].desired)
+			desired[i] = members[i].desired
+		}
+		if err := curves[0].Validate(); err != nil {
+			t.Fatalf("seed %d: invalid curve: %v", seed, err)
+		}
+		// Sweep budgets from below the floor to above the desire.
+		var floor, desire units.Power
+		for _, c := range curves {
+			floor += c.Floor()
+			desire += c.Desired()
+		}
+		for _, budget := range []units.Power{floor - 1, floor, (floor + desire) / 2, desire, desire + 10} {
+			wantIdx, wantMet := flatGreedy(members, tab, budget)
+
+			pos, met, err := DivideLeastLossExact(curves, desired, tab, budget)
+			if err != nil {
+				t.Fatalf("seed %d budget %v: %v", seed, budget, err)
+			}
+			if met != wantMet {
+				t.Fatalf("seed %d budget %v: met %v, flat %v", seed, budget, met, wantMet)
+			}
+			var got []int
+			for i := range members {
+				got = append(got, applyCurve(members[i], curves[i], pos[i])...)
+			}
+			for p := range got {
+				if got[p] != wantIdx[p] {
+					t.Fatalf("seed %d budget %v proc %d: divide idx %d, flat %d (pos %v)",
+						seed, budget, p, got[p], wantIdx[p], pos)
+				}
+			}
+
+			// The fast point-power variant must agree on this table: the
+			// curve point powers are sums of exact table powers, so both
+			// stop tests see the same values here.
+			fastPos, fastMet := DivideLeastLoss(curves, offsets, budget)
+			if fastMet != wantMet {
+				t.Fatalf("seed %d budget %v: fast met %v, flat %v", seed, budget, fastMet, wantMet)
+			}
+			for i := range pos {
+				if fastPos[i] != pos[i] {
+					t.Fatalf("seed %d budget %v member %d: fast pos %d, exact pos %d",
+						seed, budget, i, fastPos[i], pos[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDivideExactRejectsBadShapes(t *testing.T) {
+	tab := divideTable(t)
+	m := member{desired: []int{2, 3}, loss: [][]float64{{0.3, 0.1, 0}, {0.5, 0.3, 0.1, 0}}}
+	curve := localGreedy(m, tab)
+
+	if _, _, err := DivideLeastLossExact([]DemandCurve{curve}, nil, tab, units.Watts(100)); err == nil {
+		t.Error("mismatched desired-set count accepted")
+	}
+	if _, _, err := DivideLeastLossExact([]DemandCurve{{}}, [][]int{{1}}, tab, units.Watts(100)); err == nil {
+		t.Error("empty curve with processors accepted")
+	}
+	// Inconsistent step key: desired indices that do not match the
+	// curve's demotion sequence.
+	if _, _, err := DivideLeastLossExact([]DemandCurve{curve}, [][]int{{0, 0}}, tab, units.Watts(1)); err == nil {
+		t.Error("inconsistent step keys accepted")
+	}
+}
+
+func TestDivideLeastLossPanicsOnOffsetMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on offset/curve count mismatch")
+		}
+	}()
+	DivideLeastLoss([]DemandCurve{{}}, nil, units.Watts(1))
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/machine"
 	"repro/internal/netcluster/proto"
+	"repro/internal/netcluster/wire"
 	"repro/internal/obs"
 	"repro/internal/units"
 )
@@ -134,7 +135,10 @@ func (a *Agent) Close() error {
 	default:
 	}
 	close(a.closed)
-	err := a.ln.Close()
+	var err error
+	if a.ln != nil {
+		err = a.ln.Close()
+	}
 	// Unblock handlers parked in Recv: a coordinator that crashed or
 	// errored out mid-handshake never closes its end.
 	a.mu.Lock()
@@ -169,8 +173,20 @@ func (a *Agent) acceptLoop() {
 			return // listener closed
 		}
 		a.wg.Add(1)
-		go a.serve(proto.NewConn(conn))
+		// Mirror mode: the agent answers in whatever codec the
+		// coordinator speaks, switching to binary on its first binary
+		// frame. A JSON-only coordinator sees pure JSON.
+		go a.serve(wire.NewConn(conn, wire.Options{Mirror: true}))
 	}
+}
+
+// ServeConn serves one pre-established stream connection (e.g. one end of
+// a net.Pipe) until it closes, with the same codec mirroring as accepted
+// TCP connections. It blocks; run it on its own goroutine. Used by
+// in-process fleets too large for per-agent TCP sockets.
+func (a *Agent) ServeConn(conn net.Conn) {
+	a.wg.Add(1)
+	a.serve(wire.NewConn(conn, wire.Options{Mirror: true}))
 }
 
 // watchdog trips the failsafe after FailsafeLease of coordinator silence.
@@ -297,6 +313,7 @@ func (a *Agent) handleHello() *proto.Message {
 			FreqsMHz:    freqs,
 			MaxPowerW:   maxP.W(),
 			FailsafeSec: a.cfg.FailsafeLease.Seconds(),
+			Codecs:      []string{wire.CodecName},
 		},
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/farm"
 	"repro/internal/fvsst"
 	"repro/internal/netcluster/proto"
+	"repro/internal/netcluster/wire"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/power"
@@ -31,12 +32,17 @@ type Dialer interface {
 	Dial(node, addr string, timeout time.Duration) (proto.Conn, error)
 }
 
-// TCPDialer is the production dialer.
-type TCPDialer struct{}
+// TCPDialer is the production dialer. Its connections speak JSON until
+// the coordinator negotiates the binary codec (Config.Codec).
+type TCPDialer struct {
+	// Stats, when non-nil, accumulates wire codec counters across every
+	// dialled connection.
+	Stats *wire.Stats
+}
 
 // Dial connects over TCP.
-func (TCPDialer) Dial(node, addr string, timeout time.Duration) (proto.Conn, error) {
-	return proto.Dial(addr, timeout)
+func (d TCPDialer) Dial(node, addr string, timeout time.Duration) (proto.Conn, error) {
+	return wire.DialStats(addr, timeout, d.Stats)
 }
 
 // Config parameterises the networked coordinator.
@@ -78,6 +84,15 @@ type Config struct {
 	Seed int64
 	// Dialer defaults to TCPDialer.
 	Dialer Dialer
+	// Codec selects the hot-message payload encoding: "" or "json" for
+	// the inspectable default, wire.CodecName to negotiate the binary
+	// codec per node at hello time (nodes that do not advertise it keep
+	// speaking JSON — a mixed fleet is fine).
+	Codec string
+	// WireStats, when non-nil, is read each round to emit per-pass
+	// encode/decode spans and codec gauges. Point it at the same Stats
+	// the Dialer's connections share (e.g. TCPDialer.Stats).
+	WireStats *wire.Stats
 	// Sink receives schedule, quantum and degrade/rejoin trace events.
 	Sink obs.Sink
 	// Metrics instruments the transport; nil disables.
@@ -137,8 +152,14 @@ type nodeState struct {
 	// can draw while silent, since settings only change on actuation
 	// (the agent failsafe can only lower them). Nil until first ack.
 	lastFreqs []units.Frequency
-	rng       *rand.Rand
-	reqID     uint64
+	// lastCharged/granted are the relay-tier analogue of lastFreqs: the
+	// subtree charge a relay acknowledged on its last grant. A silent
+	// relay's children cannot raise their settings without grants flowing
+	// through it, so the frozen subtree can draw at most lastCharged.
+	lastCharged units.Power
+	granted     bool
+	rng         *rand.Rand
+	reqID       uint64
 }
 
 // NodeStatus is a point-in-time external view of one node.
@@ -172,6 +193,15 @@ type Decision struct {
 	// Degraded lists nodes currently marked degraded.
 	Degraded    []string
 	Assignments []cluster.Assignment
+	// NodeCharged is the per-node charge in node order: the acknowledged
+	// assignment's table power for acked nodes, the worst case under
+	// silence for the rest. Charged is their order-preserving sum, which
+	// lets a hierarchical driver reproduce the flat ledger's float
+	// accumulation exactly.
+	NodeCharged []units.Power
+	// Acked reports, per node, whether this round's actuation was
+	// acknowledged.
+	Acked []bool
 }
 
 // Coordinator runs the global two-step fvsst pass over the wire. Create
@@ -194,6 +224,9 @@ type Coordinator struct {
 	// epoch time (k−1)·T); it stamps the round's schedule event and spans
 	// and rides the wire as proto.TraceContext.
 	passID uint64
+	// lastWire is the previous round's codec counter snapshot, so the
+	// encode/decode spans report per-pass deltas of the cumulative stats.
+	lastWire wire.StatsSnapshot
 }
 
 // NewCoordinator validates the configuration and prepares (but does not
@@ -215,6 +248,11 @@ func NewCoordinator(cfg Config, specs ...NodeSpec) (*Coordinator, error) {
 	}
 	if cfg.Retries < 0 {
 		return nil, fmt.Errorf("netcluster: negative retries")
+	}
+	switch cfg.Codec {
+	case "", "json", wire.CodecName:
+	default:
+		return nil, fmt.Errorf("netcluster: unknown codec %q", cfg.Codec)
 	}
 	seen := make(map[string]bool, len(specs))
 	nodes := make([]*nodeState, len(specs))
@@ -321,11 +359,16 @@ func (c *Coordinator) ensureConn(ns *nodeState) error {
 	if err != nil {
 		return err
 	}
+	wantBinary := c.cfg.Codec == wire.CodecName
+	hello := &proto.Hello{Coordinator: c.cfg.Name}
+	if wantBinary {
+		hello.Codecs = []string{"json", wire.CodecName}
+	}
 	ns.reqID++
 	resp, err := c.exchange(conn, ns.spec.Name, &proto.Message{
 		Kind:  proto.KindHello,
 		ID:    ns.reqID,
-		Hello: &proto.Hello{Coordinator: c.cfg.Name},
+		Hello: hello,
 	})
 	if err != nil {
 		conn.Close()
@@ -349,6 +392,16 @@ func (c *Coordinator) ensureConn(ns *nodeState) error {
 		// The first handshake pins the cluster quantum; Connect is
 		// single-threaded, so later concurrent rejoins only read it.
 		c.quantum = caps.QuantumSec
+	}
+	// Codec negotiation: the node advertised the binary codec and this
+	// coordinator wants it, so flip the connection's hot-message
+	// transmission. Selection is per node — a mixed fleet keeps JSON on
+	// the nodes that never advertised. The handshake itself, and every
+	// future error frame, stays JSON.
+	if wantBinary && wire.Negotiate(caps.Codecs) {
+		if bc, ok := conn.(proto.BinaryCapable); ok {
+			bc.SetBinary(true)
+		}
 	}
 	ns.caps = &caps
 	ns.conn = conn
@@ -536,6 +589,157 @@ type poll struct {
 	rpc rpcTime
 }
 
+// pollPhase is phase 1 of a round: parallel liveness + counter poll.
+// Each goroutine owns its node's state; results land in per-node slots.
+// Every request carries the round's trace context, which agents echo on
+// the ack. A relay runs the same phase over its children when answering
+// an upstream demand request.
+func (c *Coordinator) pollPhase(passID uint64) []poll {
+	polls := make([]poll, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, ns := range c.nodes {
+		wg.Add(1)
+		go func(i int, ns *nodeState) {
+			defer wg.Done()
+			if _, _, err := c.rpc(ns, proto.KindHeartbeat, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindHeartbeat, ID: id, Trace: &proto.TraceContext{PassID: passID}}
+			}); err != nil {
+				c.recordMiss(ns, err)
+				return
+			}
+			resp, rt, err := c.rpc(ns, proto.KindCounterRequest, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindCounterRequest, ID: id, Trace: &proto.TraceContext{PassID: passID}, CounterRequest: &proto.CounterRequest{
+					AdvanceQuanta: c.cfg.Fvsst.SchedulePeriods,
+					WindowQuanta:  c.cfg.Fvsst.SchedulePeriods,
+				}}
+			})
+			if err != nil || resp.CounterReport == nil {
+				c.recordMiss(ns, err)
+				return
+			}
+			if len(resp.CounterReport.CPUs) != ns.caps.NumCPUs {
+				c.recordMiss(ns, fmt.Errorf("report covers %d of %d CPUs", len(resp.CounterReport.CPUs), ns.caps.NumCPUs))
+				return
+			}
+			polls[i] = poll{ok: true, reports: resp.CounterReport.CPUs, cpuPowerW: resp.CounterReport.CPUPowerW, rpc: rt}
+		}(i, ns)
+	}
+	wg.Wait()
+	return polls
+}
+
+// buildInputs is phase 2's input assembly: the reachable nodes' counter
+// windows become scheduler inputs (nodeInputs maps node → its input
+// indices, in CPU order), and every unreachable node adds its worst-case
+// charge to reserved.
+//
+// A poll's report slice may be conn-owned (the binary codec reuses its
+// decode buffers), so inputs must be fully built before the next message
+// is received on that node's connection — which holds: actuation only
+// starts after the scheduling pass.
+func (c *Coordinator) buildInputs(polls []poll) (inputs []cluster.ProcInput, nodeInputs [][]int, reserved units.Power) {
+	nodeInputs = make([][]int, len(c.nodes))
+	for i, ns := range c.nodes {
+		if !polls[i].ok {
+			reserved += c.worstCharge(ns)
+			continue
+		}
+		for cpu, rep := range polls[i].reports {
+			in := cluster.ProcInput{
+				Proc: cluster.ProcRef{Node: i, CPU: cpu},
+				Node: ns.spec.Name,
+				Idle: rep.Idle,
+			}
+			delta := rep.Delta()
+			if fHz := delta.ObservedFrequencyHz(); delta.Instructions > 0 && delta.Cycles > 0 && fHz > 0 {
+				in.Obs = &perfmodel.Observation{Delta: delta, Freq: units.Frequency(fHz)}
+			}
+			nodeInputs[i] = append(nodeInputs[i], len(inputs))
+			inputs = append(inputs, in)
+		}
+	}
+	return inputs, nodeInputs, reserved
+}
+
+// actuatePhase is phase 3: parallel actuation of every polled node. The
+// last acknowledged assignment is the node's charge while silent, so it
+// only advances on ack.
+func (c *Coordinator) actuatePhase(passID uint64, polls []poll, nodeInputs [][]int, assignments []cluster.Assignment) (acked []bool, actRPC []rpcTime) {
+	acked = make([]bool, len(c.nodes))
+	actRPC = make([]rpcTime, len(c.nodes))
+	var awg sync.WaitGroup
+	for i, ns := range c.nodes {
+		if !polls[i].ok {
+			continue
+		}
+		freqs := make([]units.Frequency, len(nodeInputs[i]))
+		mhz := make([]float64, len(nodeInputs[i]))
+		for cpu, idx := range nodeInputs[i] {
+			freqs[cpu] = assignments[idx].Actual
+			mhz[cpu] = freqs[cpu].MHz()
+		}
+		awg.Add(1)
+		go func(i int, ns *nodeState, freqs []units.Frequency, mhz []float64) {
+			defer awg.Done()
+			_, rt, err := c.rpc(ns, proto.KindActuate, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindActuate, ID: id, Trace: &proto.TraceContext{PassID: passID}, Actuate: &proto.Actuate{FreqsMHz: mhz}}
+			})
+			if err != nil {
+				c.recordMiss(ns, err)
+				return
+			}
+			ns.lastFreqs = freqs
+			acked[i] = true
+			actRPC[i] = rt
+			c.recordAlive(ns)
+		}(i, ns, freqs, mhz)
+	}
+	awg.Wait()
+	return acked, actRPC
+}
+
+// ledger is phase 4's account of one round: per-node charges in node
+// order plus their order-preserving totals.
+type ledger struct {
+	charged       units.Power
+	reserved      units.Power
+	nodeCharged   []units.Power
+	degradedNames []string
+	degradedCount int
+	cpuPowerW     float64
+}
+
+// settle is phase 4: acknowledged nodes are charged their new
+// assignment's table power; everyone else their worst case under silence.
+func (c *Coordinator) settle(polls []poll, nodeInputs [][]int, assignments []cluster.Assignment, acked []bool) (ledger, error) {
+	l := ledger{nodeCharged: make([]units.Power, len(c.nodes))}
+	for i, ns := range c.nodes {
+		if acked[i] {
+			var sum units.Power
+			for _, idx := range nodeInputs[i] {
+				p, err := c.cfg.Fvsst.Table.PowerAt(assignments[idx].Actual)
+				if err != nil {
+					return ledger{}, err
+				}
+				sum += p
+			}
+			l.nodeCharged[i] = sum
+			l.charged += sum
+			l.cpuPowerW += polls[i].cpuPowerW
+			continue
+		}
+		w := c.worstCharge(ns)
+		l.nodeCharged[i] = w
+		l.charged += w
+		l.reserved += w
+		if ns.degraded {
+			l.degradedCount++
+			l.degradedNames = append(l.degradedNames, ns.spec.Name)
+		}
+	}
+	return l, nil
+}
+
 // RunRound executes one scheduling period over the wire: heartbeat and
 // poll every node in parallel, run the shared global pass with the
 // budget reduced by the worst-case charge of every unreachable node,
@@ -570,39 +774,8 @@ func (c *Coordinator) RunRound() error {
 		trigger = "budget-change"
 	}
 
-	// Phase 1: parallel liveness + counter poll. Each goroutine owns its
-	// node's state; results land in per-node slots. Every request carries
-	// the round's trace context, which agents echo on the ack.
-	polls := make([]poll, len(c.nodes))
-	var wg sync.WaitGroup
-	for i, ns := range c.nodes {
-		wg.Add(1)
-		go func(i int, ns *nodeState) {
-			defer wg.Done()
-			if _, _, err := c.rpc(ns, proto.KindHeartbeat, func(id uint64) *proto.Message {
-				return &proto.Message{Kind: proto.KindHeartbeat, ID: id, Trace: &proto.TraceContext{PassID: passID}}
-			}); err != nil {
-				c.recordMiss(ns, err)
-				return
-			}
-			resp, rt, err := c.rpc(ns, proto.KindCounterRequest, func(id uint64) *proto.Message {
-				return &proto.Message{Kind: proto.KindCounterRequest, ID: id, Trace: &proto.TraceContext{PassID: passID}, CounterRequest: &proto.CounterRequest{
-					AdvanceQuanta: c.cfg.Fvsst.SchedulePeriods,
-					WindowQuanta:  c.cfg.Fvsst.SchedulePeriods,
-				}}
-			})
-			if err != nil || resp.CounterReport == nil {
-				c.recordMiss(ns, err)
-				return
-			}
-			if len(resp.CounterReport.CPUs) != ns.caps.NumCPUs {
-				c.recordMiss(ns, fmt.Errorf("report covers %d of %d CPUs", len(resp.CounterReport.CPUs), ns.caps.NumCPUs))
-				return
-			}
-			polls[i] = poll{ok: true, reports: resp.CounterReport.CPUs, cpuPowerW: resp.CounterReport.CPUPowerW, rpc: rt}
-		}(i, ns)
-	}
-	wg.Wait()
+	// Phase 1: parallel liveness + counter poll.
+	polls := c.pollPhase(passID)
 	var pollDur time.Duration
 	if trace {
 		pollDur = time.Since(passStart)
@@ -610,28 +783,7 @@ func (c *Coordinator) RunRound() error {
 
 	// Phase 2: global pass over the reachable nodes, under the budget
 	// minus the silent nodes' worst-case charge.
-	var inputs []cluster.ProcInput
-	nodeInputs := make([][]int, len(c.nodes))
-	reserved := units.Power(0)
-	for i, ns := range c.nodes {
-		if !polls[i].ok {
-			reserved += c.worstCharge(ns)
-			continue
-		}
-		for cpu, rep := range polls[i].reports {
-			in := cluster.ProcInput{
-				Proc: cluster.ProcRef{Node: i, CPU: cpu},
-				Node: ns.spec.Name,
-				Idle: rep.Idle,
-			}
-			delta := rep.Delta()
-			if fHz := delta.ObservedFrequencyHz(); delta.Instructions > 0 && delta.Cycles > 0 && fHz > 0 {
-				in.Obs = &perfmodel.Observation{Delta: delta, Freq: units.Frequency(fHz)}
-			}
-			nodeInputs[i] = append(nodeInputs[i], len(inputs))
-			inputs = append(inputs, in)
-		}
-	}
+	inputs, nodeInputs, reserved := c.buildInputs(polls)
 	liveBudget := c.budget - reserved
 	var schedStart time.Time
 	if trace {
@@ -648,71 +800,17 @@ func (c *Coordinator) RunRound() error {
 		schedDur = actStart.Sub(schedStart)
 	}
 
-	// Phase 3: parallel actuation. The last acknowledged assignment is
-	// the node's charge while silent, so it only advances on ack.
-	acked := make([]bool, len(c.nodes))
-	actRPC := make([]rpcTime, len(c.nodes))
-	var awg sync.WaitGroup
-	for i, ns := range c.nodes {
-		if !polls[i].ok {
-			continue
-		}
-		freqs := make([]units.Frequency, len(nodeInputs[i]))
-		mhz := make([]float64, len(nodeInputs[i]))
-		for cpu, idx := range nodeInputs[i] {
-			freqs[cpu] = res.Assignments[idx].Actual
-			mhz[cpu] = freqs[cpu].MHz()
-		}
-		awg.Add(1)
-		go func(i int, ns *nodeState, freqs []units.Frequency, mhz []float64) {
-			defer awg.Done()
-			_, rt, err := c.rpc(ns, proto.KindActuate, func(id uint64) *proto.Message {
-				return &proto.Message{Kind: proto.KindActuate, ID: id, Trace: &proto.TraceContext{PassID: passID}, Actuate: &proto.Actuate{FreqsMHz: mhz}}
-			})
-			if err != nil {
-				c.recordMiss(ns, err)
-				return
-			}
-			ns.lastFreqs = freqs
-			acked[i] = true
-			actRPC[i] = rt
-			c.recordAlive(ns)
-		}(i, ns, freqs, mhz)
-	}
-	awg.Wait()
+	// Phase 3: parallel actuation.
+	acked, actRPC := c.actuatePhase(passID, polls, nodeInputs, res.Assignments)
 	var actDur time.Duration
 	if trace {
 		actDur = time.Since(actStart)
 	}
 
-	// Phase 4: the round's ledger. Acknowledged nodes are charged their
-	// new assignment; everyone else their worst case under silence.
-	charged := units.Power(0)
-	reserved = 0
-	degradedCount := 0
-	var degradedNames []string
-	cpuPowerW := 0.0
-	for i, ns := range c.nodes {
-		if acked[i] {
-			var sum units.Power
-			for _, idx := range nodeInputs[i] {
-				p, err := c.cfg.Fvsst.Table.PowerAt(res.Assignments[idx].Actual)
-				if err != nil {
-					return err
-				}
-				sum += p
-			}
-			charged += sum
-			cpuPowerW += polls[i].cpuPowerW
-			continue
-		}
-		w := c.worstCharge(ns)
-		charged += w
-		reserved += w
-		if ns.degraded {
-			degradedCount++
-			degradedNames = append(degradedNames, ns.spec.Name)
-		}
+	// Phase 4: the round's ledger.
+	l, err := c.settle(polls, nodeInputs, res.Assignments, acked)
+	if err != nil {
+		return err
 	}
 
 	dec := Decision{
@@ -720,24 +818,27 @@ func (c *Coordinator) RunRound() error {
 		Trigger:     trigger,
 		Budget:      c.budget,
 		TablePower:  res.TablePower,
-		Reserved:    reserved,
-		Charged:     charged,
-		BudgetMet:   charged <= c.budget,
-		Degraded:    degradedNames,
+		Reserved:    l.reserved,
+		Charged:     l.charged,
+		BudgetMet:   l.charged <= c.budget,
+		Degraded:    l.degradedNames,
 		Assignments: res.Assignments,
+		NodeCharged: l.nodeCharged,
+		Acked:       acked,
 	}
 	c.decisions = append(c.decisions, dec)
 
-	c.cfg.Metrics.setDegraded(degradedCount)
-	c.cfg.Metrics.setCharged(charged, reserved)
+	c.cfg.Metrics.setDegraded(l.degradedCount)
+	c.cfg.Metrics.setCharged(l.charged, l.reserved)
+	c.cfg.Metrics.setWire(c.cfg.WireStats)
 	if trace {
 		at := c.clock.Now()
 		sink := c.cfg.Sink
 		ev := cluster.PassEvent(at, trigger, c.budget, inputs, res)
 		ev.PassID = passID
-		ev.ChargedW = charged.W()
-		ev.ReservedW = reserved.W()
-		ev.HeadroomW = (c.budget - charged).W()
+		ev.ChargedW = l.charged.W()
+		ev.ReservedW = l.reserved.W()
+		ev.HeadroomW = (c.budget - l.charged).W()
 		ev.BudgetMissed = !dec.BudgetMet
 		sink.Emit(ev)
 		// Aggregate quantum sample (Node empty, carries the budget), plus
@@ -748,7 +849,7 @@ func (c *Coordinator) RunRound() error {
 			At:        at,
 			PassID:    passID,
 			BudgetW:   c.budget.W(),
-			CPUPowerW: cpuPowerW,
+			CPUPowerW: l.cpuPowerW,
 		})
 		for i, ns := range c.nodes {
 			if !polls[i].ok {
@@ -764,7 +865,8 @@ func (c *Coordinator) RunRound() error {
 		}
 		// The round's span tree: phase children, the Figure-3 step
 		// breakdown inside the schedule phase, per-node RPC spans with the
-		// queue/wire/apply split, and the pass root last.
+		// queue/wire/apply split, codec time when instrumented, and the
+		// pass root last.
 		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanPoll, obs.SpanPass, pollDur.Seconds()))
 		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanSchedule, obs.SpanPass, schedDur.Seconds()))
 		cluster.EmitStepSpans(sink, at, passID, res.Timings)
@@ -777,11 +879,26 @@ func (c *Coordinator) RunRound() error {
 				sink.Emit(rpcSpan(at, passID, ns.spec.Name, obs.SpanRPCActuate, actStart, actRPC[i]))
 			}
 		}
+		c.emitCodecSpans(at, passID)
 		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanPass, "", time.Since(passStart).Seconds()))
 	}
 
 	c.clock.Tick()
 	return nil
+}
+
+// emitCodecSpans reports the pass's share of the cumulative wire codec
+// time as encode/decode child spans. No-op without Config.WireStats.
+func (c *Coordinator) emitCodecSpans(at float64, passID uint64) {
+	if c.cfg.WireStats == nil {
+		return
+	}
+	snap := c.cfg.WireStats.Snapshot()
+	encode := float64(snap.EncodeNanos-c.lastWire.EncodeNanos) / 1e9
+	decode := float64(snap.DecodeNanos-c.lastWire.DecodeNanos) / 1e9
+	c.lastWire = snap
+	c.cfg.Sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanEncode, obs.SpanPass, encode))
+	c.cfg.Sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanDecode, obs.SpanPass, decode))
 }
 
 // rpcSpan renders one node RPC as an rpc:* span: queue is how long the

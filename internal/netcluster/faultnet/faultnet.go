@@ -66,6 +66,7 @@ type Network struct {
 	mu          sync.Mutex
 	seed        int64
 	wraps       int64
+	dial        func(addr string, timeout time.Duration) (proto.Conn, error)
 	policies    map[string]Policy
 	partitioned map[string]bool
 }
@@ -78,6 +79,16 @@ func New(seed int64) *Network {
 		policies:    make(map[string]Policy),
 		partitioned: make(map[string]bool),
 	}
+}
+
+// SetTransport replaces the underlying dialer Dial wraps (default
+// proto.Dial's plain JSON transport). cmd and scenario code inject
+// wire.Dial here to run fault scenarios over the binary codec; the
+// fabric itself is codec-agnostic.
+func (n *Network) SetTransport(dial func(addr string, timeout time.Duration) (proto.Conn, error)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dial = dial
 }
 
 // SetPolicy installs the fault policy for a node's future and existing
@@ -120,7 +131,13 @@ func (n *Network) Dial(node, addr string, timeout time.Duration) (proto.Conn, er
 	if n.Partitioned(node) {
 		return nil, fmt.Errorf("dial %s (%s): %w", node, addr, ErrPartitioned)
 	}
-	c, err := proto.Dial(addr, timeout)
+	n.mu.Lock()
+	dial := n.dial
+	n.mu.Unlock()
+	if dial == nil {
+		dial = proto.Dial
+	}
+	c, err := dial(addr, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -204,3 +221,11 @@ func (f *faultConn) Recv() (*proto.Message, error) {
 func (f *faultConn) SetDeadline(t time.Time) error { return f.inner.SetDeadline(t) }
 
 func (f *faultConn) Close() error { return f.inner.Close() }
+
+// SetBinary forwards codec selection to the wrapped connection when it
+// supports one (proto.BinaryCapable); fault injection is codec-agnostic.
+func (f *faultConn) SetBinary(on bool) {
+	if bc, ok := f.inner.(proto.BinaryCapable); ok {
+		bc.SetBinary(on)
+	}
+}

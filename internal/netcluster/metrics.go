@@ -3,6 +3,7 @@ package netcluster
 import (
 	"time"
 
+	"repro/internal/netcluster/wire"
 	"repro/internal/obs"
 	"repro/internal/units"
 )
@@ -27,6 +28,10 @@ type Metrics struct {
 	degraded    *obs.Gauge
 	charged     *obs.Gauge
 	reserved    *obs.Gauge
+	wireFrames  *obs.GaugeVec // codec, direction
+	wireBytes   *obs.GaugeVec // direction
+	wireCodecNs *obs.GaugeVec // op
+	wireReports *obs.GaugeVec // mode, direction
 }
 
 // NewMetrics builds the instrument set over a fresh registry.
@@ -54,6 +59,14 @@ func NewMetricsInto(r *obs.Registry) *Metrics {
 			"Power held against the budget after the last pass (live + reserved).").With(),
 		reserved: r.Gauge("netcluster_reserved_power_watts",
 			"Worst-case reservation for degraded nodes after the last pass.").With(),
+		wireFrames: r.Gauge("netcluster_wire_frames_total",
+			"Cumulative frames by payload codec and direction.", "codec", "direction"),
+		wireBytes: r.Gauge("netcluster_wire_bytes_total",
+			"Cumulative framed bytes by direction.", "direction"),
+		wireCodecNs: r.Gauge("netcluster_wire_codec_nanoseconds_total",
+			"Cumulative binary codec time by operation.", "op"),
+		wireReports: r.Gauge("netcluster_wire_counter_reports_total",
+			"Cumulative counter reports by encoding mode and direction.", "mode", "direction"),
 	}
 }
 
@@ -116,4 +129,26 @@ func (m *Metrics) setCharged(charged, reserved units.Power) {
 	}
 	m.charged.Set(charged.W())
 	m.reserved.Set(reserved.W())
+}
+
+// setWire publishes the fan-out's cumulative codec counters. The stats
+// are monotone atomics shared by every connection, so gauges carrying the
+// latest snapshot behave like counters to a scraper.
+func (m *Metrics) setWire(st *wire.Stats) {
+	if m == nil || st == nil {
+		return
+	}
+	s := st.Snapshot()
+	m.wireFrames.With("bin1", "out").Set(float64(s.BinFramesOut))
+	m.wireFrames.With("bin1", "in").Set(float64(s.BinFramesIn))
+	m.wireFrames.With("json", "out").Set(float64(s.JSONFramesOut))
+	m.wireFrames.With("json", "in").Set(float64(s.JSONFramesIn))
+	m.wireBytes.With("out").Set(float64(s.BytesOut))
+	m.wireBytes.With("in").Set(float64(s.BytesIn))
+	m.wireCodecNs.With("encode").Set(float64(s.EncodeNanos))
+	m.wireCodecNs.With("decode").Set(float64(s.DecodeNanos))
+	m.wireReports.With("full", "out").Set(float64(s.FullOut))
+	m.wireReports.With("delta", "out").Set(float64(s.DeltaOut))
+	m.wireReports.With("full", "in").Set(float64(s.FullIn))
+	m.wireReports.With("delta", "in").Set(float64(s.DeltaIn))
 }

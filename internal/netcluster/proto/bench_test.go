@@ -1,0 +1,173 @@
+package proto
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// benchMessage is a realistic hot-path frame: an 8-CPU counter report.
+func benchMessage() *Message {
+	cpus := make([]CPUReport, 8)
+	for i := range cpus {
+		cpus[i] = CPUReport{
+			WindowSec:    0.08,
+			Instructions: 1_000_000 + uint64(i),
+			Cycles:       2_000_000 + uint64(i),
+			HaltedCycles: 100_000,
+			L2Refs:       50_000,
+			L3Refs:       9_000,
+			MemRefs:      4_000,
+		}
+	}
+	return &Message{
+		Kind:       KindCounterReport,
+		ID:         42,
+		Node:       "n3",
+		Now:        1.28,
+		ServiceSec: 0.0001,
+		Trace:      &TraceContext{PassID: 17},
+		CounterReport: &CounterReport{
+			CPUs:      cpus,
+			CPUPowerW: 61.5,
+		},
+	}
+}
+
+// discardConn swallows writes and serves reads from a repeating frame, so
+// Send and Recv benchmarks exercise the codec without transport blocking.
+type discardConn struct {
+	frame []byte
+	off   int
+}
+
+func (d *discardConn) Write(p []byte) (int, error) { return len(p), nil }
+
+func (d *discardConn) Read(p []byte) (int, error) {
+	if d.off == len(d.frame) {
+		d.off = 0
+	}
+	n := copy(p, d.frame[d.off:])
+	d.off += n
+	return n, nil
+}
+
+func (d *discardConn) Close() error                     { return nil }
+func (d *discardConn) LocalAddr() net.Addr              { return nil }
+func (d *discardConn) RemoteAddr() net.Addr             { return nil }
+func (d *discardConn) SetDeadline(time.Time) error      { return nil }
+func (d *discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (d *discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// frameFor renders one message through a real conn to use as Recv input.
+func frameFor(tb testing.TB, m *Message) []byte {
+	tb.Helper()
+	var sink discardConn
+	c := &netConn{c: &sink}
+	// Capture the frame by swapping in a buffer-backed writer.
+	var buf bytes.Buffer
+	cw := &captureConn{discardConn: &sink, w: &buf}
+	c.c = cw
+	if err := c.Send(m); err != nil {
+		tb.Fatalf("Send: %v", err)
+	}
+	return buf.Bytes()
+}
+
+type captureConn struct {
+	*discardConn
+	w *bytes.Buffer
+}
+
+func (c *captureConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+
+// TestConnBufferReuse pins the satellite fix: after the first frame, Send
+// and Recv reuse their per-conn buffers rather than allocating fresh
+// frame/payload slices per message.
+func TestConnBufferReuse(t *testing.T) {
+	m := benchMessage()
+	frame := frameFor(t, m)
+
+	sender := &netConn{c: &discardConn{}}
+	if err := sender.Send(m); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	wcap := cap(sender.wbuf.b)
+	wptr := &sender.wbuf.b[0]
+	for i := 0; i < 50; i++ {
+		if err := sender.Send(m); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if cap(sender.wbuf.b) != wcap || &sender.wbuf.b[0] != wptr {
+		t.Fatalf("send buffer reallocated across same-size frames: cap %d → %d", wcap, cap(sender.wbuf.b))
+	}
+
+	receiver := &netConn{c: &discardConn{frame: frame}}
+	if _, err := receiver.Recv(); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	rcap := cap(receiver.rbuf)
+	rptr := &receiver.rbuf[0]
+	for i := 0; i < 50; i++ {
+		got, err := receiver.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if got.Kind != KindCounterReport || got.ID != 42 || len(got.CounterReport.CPUs) != 8 {
+			t.Fatalf("Recv %d decoded %+v", i, got)
+		}
+	}
+	if cap(receiver.rbuf) != rcap || &receiver.rbuf[0] != rptr {
+		t.Fatalf("recv buffer reallocated across same-size frames: cap %d → %d", rcap, cap(receiver.rbuf))
+	}
+}
+
+// TestConnSendAllocBound guards against reintroducing per-frame slice
+// builds on the send path. JSON reflection still allocates per encode, so
+// the bound is loose — the old code's make(4+len(payload)) for a ~700-byte
+// report would show up as both an extra alloc and a large bytes/op jump in
+// BenchmarkConnSend.
+func TestConnSendAllocBound(t *testing.T) {
+	m := benchMessage()
+	c := &netConn{c: &discardConn{}}
+	// Warm the buffer and the encoder's internal pool.
+	for i := 0; i < 10; i++ {
+		if err := c.Send(m); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.Send(m); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("Send allocates %.1f objects/op, want ≤ 8 (per-frame buffer reuse regressed?)", allocs)
+	}
+}
+
+func BenchmarkConnSend(b *testing.B) {
+	m := benchMessage()
+	c := &netConn{c: &discardConn{}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Send(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConnRecv(b *testing.B) {
+	frame := frameFor(b, benchMessage())
+	c := &netConn{c: &discardConn{frame: frame}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -24,9 +24,36 @@ type Conn interface {
 	Close() error
 }
 
-// netConn frames messages over a stream connection.
+// BinaryCapable is implemented by connections that can switch their hot
+// messages to a negotiated binary codec (the wire package); wrappers such
+// as faultnet forward the call to the connection they wrap. Enabling is
+// transmit-side only — receivers always accept both encodings, so the
+// switch needs no in-band synchronisation.
+type BinaryCapable interface {
+	SetBinary(on bool)
+}
+
+// netConn frames messages over a stream connection. The encode buffer
+// and read buffer persist across calls so a steady message stream
+// allocates no per-frame slices (json reflection still allocates the
+// decoded Message — the wire package's binary codec removes that too).
 type netConn struct {
-	c net.Conn
+	c    net.Conn
+	wbuf frameBuffer
+	enc  *json.Encoder
+	rbuf []byte
+}
+
+// frameBuffer accumulates one outgoing frame: 4 length bytes reserved up
+// front, then the JSON payload appended by the encoder. It implements
+// io.Writer over a reusable backing array.
+type frameBuffer struct {
+	b []byte
+}
+
+func (f *frameBuffer) Write(p []byte) (int, error) {
+	f.b = append(f.b, p...)
+	return len(p), nil
 }
 
 // NewConn wraps a stream connection (TCP, unix, net.Pipe) as a message
@@ -44,20 +71,22 @@ func Dial(addr string, timeout time.Duration) (Conn, error) {
 
 func (n *netConn) Send(m *Message) error {
 	m.V = Version
-	payload, err := json.Marshal(m)
-	if err != nil {
+	n.wbuf.b = append(n.wbuf.b[:0], 0, 0, 0, 0) // length prefix, patched below
+	if n.enc == nil {
+		n.enc = json.NewEncoder(&n.wbuf)
+	}
+	if err := n.enc.Encode(m); err != nil {
 		return fmt.Errorf("proto: encode %s: %w", m.Kind, err)
 	}
-	if len(payload) > MaxMessageSize {
-		return fmt.Errorf("proto: %s message %d bytes exceeds limit %d", m.Kind, len(payload), MaxMessageSize)
+	payload := len(n.wbuf.b) - 4
+	if payload > MaxMessageSize {
+		return fmt.Errorf("proto: %s message %d bytes exceeds limit %d", m.Kind, payload, MaxMessageSize)
 	}
-	frame := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
-	copy(frame[4:], payload)
+	binary.BigEndian.PutUint32(n.wbuf.b, uint32(payload))
 	// One Write per frame so a concurrent writer cannot interleave
 	// half-frames; the Conn contract still requires external send
 	// serialisation per logical stream.
-	_, err = n.c.Write(frame)
+	_, err := n.c.Write(n.wbuf.b)
 	return err
 }
 
@@ -70,7 +99,10 @@ func (n *netConn) Recv() (*Message, error) {
 	if size == 0 || size > MaxMessageSize {
 		return nil, fmt.Errorf("proto: frame length %d outside (0, %d]", size, MaxMessageSize)
 	}
-	payload := make([]byte, size)
+	if cap(n.rbuf) < int(size) {
+		n.rbuf = make([]byte, size)
+	}
+	payload := n.rbuf[:size]
 	if _, err := io.ReadFull(n.c, payload); err != nil {
 		return nil, fmt.Errorf("proto: truncated frame: %w", err)
 	}

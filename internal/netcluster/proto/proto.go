@@ -52,6 +52,18 @@ const (
 	// KindError reports a request the agent could not serve; Error holds
 	// the reason and ID echoes the failed request.
 	KindError = "error"
+	// KindDemandRequest asks a relay to advance and poll its subtree and
+	// answer with its aggregated demand curve. It carries the same
+	// CounterRequest payload as a counter poll — the relay forwards the
+	// advance/window quanta to every child.
+	KindDemandRequest = "demand-request"
+	// KindDemandReport carries the relay's aggregated demand curve back.
+	KindDemandReport = "demand-report"
+	// KindGrant awards a relay its share of the global budget; the relay
+	// schedules and actuates its subtree under it.
+	KindGrant = "grant"
+	// KindGrantAck confirms the applied subtree schedule.
+	KindGrantAck = "grant-ack"
 )
 
 // Message is one frame. A single flat envelope with optional payload
@@ -82,12 +94,17 @@ type Message struct {
 	// time from apply time in the per-node rpc:* spans.
 	ServiceSec float64 `json:"service_sec,omitempty"`
 
-	Hello          *Hello          `json:"hello,omitempty"`
-	Capabilities   *Capabilities   `json:"capabilities,omitempty"`
+	Hello        *Hello        `json:"hello,omitempty"`
+	Capabilities *Capabilities `json:"capabilities,omitempty"`
+	// CounterRequest is the payload of both KindCounterRequest and
+	// KindDemandRequest (a demand poll forwards the same quanta).
 	CounterRequest *CounterRequest `json:"counter_request,omitempty"`
 	CounterReport  *CounterReport  `json:"counter_report,omitempty"`
 	Actuate        *Actuate        `json:"actuate,omitempty"`
 	ActuateAck     *ActuateAck     `json:"actuate_ack,omitempty"`
+	DemandReport   *DemandReport   `json:"demand_report,omitempty"`
+	Grant          *Grant          `json:"grant,omitempty"`
+	GrantAck       *GrantAck       `json:"grant_ack,omitempty"`
 }
 
 // TraceContext is the causal-span context propagated on requests: the
@@ -104,6 +121,10 @@ type TraceContext struct {
 type Hello struct {
 	// Coordinator names the coordinator for the agent's logs.
 	Coordinator string `json:"coordinator"`
+	// Codecs lists the payload encodings the coordinator can read, for
+	// the agent's logs (selection is coordinator-driven: it enables a
+	// codec the capabilities advertise). Absent means JSON only.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // Capabilities describes an agent's node in the hello-ack: everything the
@@ -122,6 +143,14 @@ type Capabilities struct {
 	// wall-clock silence from the coordinator the agent drops every CPU
 	// to its minimum frequency on its own. 0 means no failsafe.
 	FailsafeSec float64 `json:"failsafe_sec,omitempty"`
+	// Codecs lists the payload encodings this node can speak besides the
+	// implied "json" (e.g. the wire package's binary codec). The
+	// coordinator enables a mutually supported codec after the handshake;
+	// hello, capabilities and errors stay JSON regardless.
+	Codecs []string `json:"codecs,omitempty"`
+	// Tier distinguishes an aggregating relay ("relay", NumCPUs is the
+	// subtree's processor total) from a leaf agent (empty).
+	Tier string `json:"tier,omitempty"`
 }
 
 // CounterRequest drives one scheduling period: the agent advances its
@@ -191,4 +220,56 @@ type Actuate struct {
 // ActuateAck confirms the frequencies the agent applied.
 type ActuateAck struct {
 	AppliedMHz []float64 `json:"applied_mhz"`
+}
+
+// DemandPoint is one point of a relay's aggregated demand curve: an
+// aggregate table power the subtree could run at and the predicted loss
+// there, plus the step key of the demotion that produced the point (the
+// farm.StepKey fields, flattened) so the root can interleave several
+// relays' curves in exact flat-greedy order. Step fields are zero on the
+// first point.
+type DemandPoint struct {
+	PowerW   float64 `json:"power_w"`
+	Loss     float64 `json:"loss"`
+	StepLoss float64 `json:"step_loss,omitempty"`
+	StepIdx  int     `json:"step_idx,omitempty"`
+	StepProc int     `json:"step_proc,omitempty"`
+}
+
+// DemandReport answers a DemandRequest: the relay's subtree collapsed
+// into one demand curve over its reachable processors, the worst-case
+// charge for the children it could not reach, and aggregate telemetry.
+type DemandReport struct {
+	Points []DemandPoint `json:"points,omitempty"`
+	// Desired is the Step-1 desired table index per reachable processor,
+	// in the relay's flat processor order (curve point 0). The root needs
+	// it to replay the flat Step-2 stop arithmetic exactly.
+	Desired []int `json:"desired,omitempty"`
+	// ReservedW is the worst-case power of the relay's unreachable
+	// children; the root holds it against the budget before dividing the
+	// remainder across curves.
+	ReservedW    float64 `json:"reserved_w,omitempty"`
+	CPUPowerW    float64 `json:"cpu_power_w,omitempty"`
+	SystemPowerW float64 `json:"system_power_w,omitempty"`
+	// Degraded lists the relay's currently degraded children.
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// Grant awards a relay the budget for its reachable processors (the
+// relay's own ReservedW is already held at the root).
+type Grant struct {
+	BudgetW float64 `json:"budget_w"`
+}
+
+// GrantAck reports the subtree schedule the relay applied under a grant.
+type GrantAck struct {
+	// ChargedW is the relay's post-actuation ledger total: acknowledged
+	// children's table power plus the worst case of every silent child.
+	// It is also the most the subtree can draw if the relay goes silent
+	// now, so the root charges it while the relay is unreachable.
+	ChargedW    float64 `json:"charged_w"`
+	TablePowerW float64 `json:"table_power_w"`
+	ReservedW   float64 `json:"reserved_w,omitempty"`
+	// Met reports charged ≤ grant + the demand-time reservation.
+	Met bool `json:"met"`
 }

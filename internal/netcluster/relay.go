@@ -1,0 +1,686 @@
+package netcluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/farm"
+	"repro/internal/netcluster/proto"
+	"repro/internal/netcluster/wire"
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+// This file is the recursive coordinator tier. A Relay owns a Coordinator
+// over its children (leaf agents or further relays) and speaks the agent
+// protocol upward: it answers a demand-request by polling its subtree and
+// collapsing it into one aggregated demand curve (cluster.Core's
+// least-loss demotion sequence with flat-greedy step keys), and answers
+// the grant that follows by scheduling and actuating the subtree under
+// the granted budget. A Root divides its budget across relay demand
+// curves with farm.DivideLeastLossExact — the same greedy, the same stop
+// arithmetic, as one flat fvsst Step-2 pass over the union — so a
+// fault-free two-level tree produces byte-identical schedules to a flat
+// coordinator over the same nodes.
+//
+// Budget safety composes up the tree: a relay charges silent children
+// their worst case under silence (Coordinator.settle), reports that
+// reservation upward at demand time, and acknowledges every grant with
+// its post-actuation ledger total (GrantAck.ChargedW). The root holds a
+// silent relay at its last acknowledged ChargedW — grants are the only
+// way subtree settings can rise, so a partitioned subtree is frozen at
+// (or below, via agent failsafes) that figure — and a never-granted relay
+// at its full subtree worst case.
+
+// RelayConfig parameterises one mid-tier relay.
+type RelayConfig struct {
+	// Name identifies the relay to its root coordinator.
+	Name string
+	// Addr is the upward TCP listen address; empty means loopback with an
+	// OS-assigned port.
+	Addr string
+}
+
+// Relay serves a coordinator subtree to an upstream Root. Create with
+// NewRelay over a connected Coordinator, then Start (or ServeConn).
+type Relay struct {
+	cfg   RelayConfig
+	coord *Coordinator
+	ln    net.Listener
+
+	mu      sync.Mutex
+	conns   map[proto.Conn]struct{}
+	pending *pendingDemand
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// pendingDemand carries the poll a demand-request performed across to the
+// grant that settles it, so the subtree is advanced exactly once per
+// round and the grant schedules the very counter windows the exported
+// curve was derived from.
+type pendingDemand struct {
+	passID     uint64
+	polls      []poll
+	inputs     []cluster.ProcInput
+	nodeInputs [][]int
+	reserved   units.Power
+	cpuPowerW  float64
+}
+
+// NewRelay wraps a connected Coordinator. The Coordinator must have
+// completed Connect — the relay advertises its subtree's processor count
+// at hello time — and the relay owns its round-driving from then on:
+// do not call RunRound on the wrapped Coordinator.
+func NewRelay(cfg RelayConfig, coord *Coordinator) (*Relay, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("netcluster: relay needs a name")
+	}
+	if coord == nil {
+		return nil, fmt.Errorf("netcluster: relay %s has no coordinator", cfg.Name)
+	}
+	for _, ns := range coord.nodes {
+		if ns.caps == nil {
+			return nil, fmt.Errorf("netcluster: relay %s: child %s never connected; call Connect first",
+				cfg.Name, ns.spec.Name)
+		}
+	}
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	return &Relay{
+		cfg:    cfg,
+		coord:  coord,
+		conns:  make(map[proto.Conn]struct{}),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// Coordinator exposes the wrapped subtree coordinator, whose Decisions
+// log carries the per-child detail (assignments, per-node charges) of
+// every grant the relay settled.
+func (r *Relay) Coordinator() *Coordinator { return r.coord }
+
+// Start binds the upward listener and begins serving.
+func (r *Relay) Start() error {
+	ln, err := net.Listen("tcp", r.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("netcluster: relay %s listen: %w", r.cfg.Name, err)
+	}
+	r.ln = ln
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound upward listen address (valid after Start).
+func (r *Relay) Addr() string { return r.ln.Addr().String() }
+
+// Close stops serving upward and tears down the subtree sessions.
+func (r *Relay) Close() error {
+	select {
+	case <-r.closed:
+		return nil
+	default:
+	}
+	close(r.closed)
+	var err error
+	if r.ln != nil {
+		err = r.ln.Close()
+	}
+	r.mu.Lock()
+	for c := range r.conns {
+		c.Close()
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	r.coord.Close()
+	return err
+}
+
+func (r *Relay) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		r.wg.Add(1)
+		go r.serve(wire.NewConn(conn, wire.Options{Mirror: true}))
+	}
+}
+
+// ServeConn serves one pre-established stream connection (e.g. one end of
+// a net.Pipe) until it closes. It blocks; run it on its own goroutine.
+func (r *Relay) ServeConn(conn net.Conn) {
+	r.wg.Add(1)
+	r.serve(wire.NewConn(conn, wire.Options{Mirror: true}))
+}
+
+func (r *Relay) serve(c proto.Conn) {
+	defer r.wg.Done()
+	r.mu.Lock()
+	r.conns[c] = struct{}{}
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, c)
+		r.mu.Unlock()
+		c.Close()
+	}()
+	for {
+		req, err := c.Recv()
+		if err != nil {
+			return // root will redial
+		}
+		start := time.Now()
+		resp := r.handle(req)
+		resp.ID = req.ID
+		resp.Node = r.cfg.Name
+		resp.Trace = req.Trace
+		resp.ServiceSec = time.Since(start).Seconds()
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle serialises upward requests: the wrapped Coordinator is not
+// concurrency-safe, and a round's demand/grant pair must not interleave
+// with a redialled connection's handshake.
+func (r *Relay) handle(req *proto.Message) *proto.Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch req.Kind {
+	case proto.KindHello:
+		return r.handleHello()
+	case proto.KindHeartbeat:
+		return &proto.Message{Kind: proto.KindHeartbeatAck, Now: r.coord.clock.Now()}
+	case proto.KindDemandRequest:
+		if req.CounterRequest == nil {
+			return fail("demand-request without payload")
+		}
+		return r.handleDemand(req)
+	case proto.KindGrant:
+		if req.Grant == nil {
+			return fail("grant without payload")
+		}
+		return r.handleGrant(req)
+	default:
+		return fail("unknown kind %q", req.Kind)
+	}
+}
+
+func (r *Relay) handleHello() *proto.Message {
+	table := r.coord.cfg.Fvsst.Table
+	var freqs []float64
+	for _, p := range table.Points() {
+		freqs = append(freqs, p.F.MHz())
+	}
+	maxP, err := table.PowerAt(table.MaxFrequency())
+	if err != nil {
+		return fail("capabilities: %v", err)
+	}
+	numCPUs := 0
+	for _, ns := range r.coord.nodes {
+		numCPUs += ns.caps.NumCPUs
+	}
+	return &proto.Message{
+		Kind: proto.KindHelloAck,
+		Now:  r.coord.clock.Now(),
+		Capabilities: &proto.Capabilities{
+			Node:       r.cfg.Name,
+			NumCPUs:    numCPUs,
+			QuantumSec: r.coord.quantum,
+			FreqsMHz:   freqs,
+			MaxPowerW:  maxP.W(),
+			Codecs:     []string{wire.CodecName},
+			Tier:       "relay",
+		},
+	}
+}
+
+// handleDemand is the downward half of a round: poll the subtree (which
+// advances every reachable child one scheduling period), export its
+// demand curve and Step-1 desire, and hold the poll for the grant.
+func (r *Relay) handleDemand(req *proto.Message) *proto.Message {
+	cr := *req.CounterRequest
+	want := r.coord.cfg.Fvsst.SchedulePeriods
+	if cr.AdvanceQuanta != want || cr.WindowQuanta != want {
+		return fail("demand advance/window %d/%d differ from relay schedule periods %d",
+			cr.AdvanceQuanta, cr.WindowQuanta, want)
+	}
+	var passID uint64
+	if req.Trace != nil {
+		passID = req.Trace.PassID
+	}
+	// Keep the subtree's pass numbering aligned with the root's, so one
+	// PassID correlates spans and acks across every tier.
+	r.coord.passID = passID
+
+	polls := r.coord.pollPhase(passID)
+	inputs, nodeInputs, reserved := r.coord.buildInputs(polls)
+	rep := &proto.DemandReport{ReservedW: reserved.W()}
+	var cpuPowerW float64
+	for i := range polls {
+		if polls[i].ok {
+			cpuPowerW += polls[i].cpuPowerW
+		}
+	}
+	rep.CPUPowerW = cpuPowerW
+	for _, ns := range r.coord.nodes {
+		if ns.degraded {
+			rep.Degraded = append(rep.Degraded, ns.spec.Name)
+		}
+	}
+	if len(inputs) > 0 {
+		curve, desired, err := r.coord.core.DemandCurveDesired(inputs)
+		if err != nil {
+			return fail("demand curve: %v", err)
+		}
+		rep.Points = make([]proto.DemandPoint, len(curve.Points))
+		for i, p := range curve.Points {
+			rep.Points[i] = proto.DemandPoint{
+				PowerW:   p.Power.W(),
+				Loss:     p.Loss,
+				StepLoss: p.Step.Loss,
+				StepIdx:  p.Step.Idx,
+				StepProc: p.Step.Proc,
+			}
+		}
+		rep.Desired = desired
+	}
+	r.pending = &pendingDemand{
+		passID:     passID,
+		polls:      polls,
+		inputs:     inputs,
+		nodeInputs: nodeInputs,
+		reserved:   reserved,
+		cpuPowerW:  cpuPowerW,
+	}
+	return &proto.Message{Kind: proto.KindDemandReport, Now: r.coord.clock.Now(), DemandReport: rep}
+}
+
+// handleGrant settles the round the preceding demand-request opened:
+// schedule the held counter windows under the granted budget, actuate,
+// and acknowledge the resulting ledger.
+func (r *Relay) handleGrant(req *proto.Message) *proto.Message {
+	p := r.pending
+	if p == nil {
+		return fail("grant without a preceding demand-request")
+	}
+	r.pending = nil
+	c := r.coord
+	grant := units.Watts(req.Grant.BudgetW)
+	res, err := c.core.Schedule(p.inputs, grant)
+	if err != nil {
+		return fail("schedule: %v", err)
+	}
+	acked, _ := c.actuatePhase(p.passID, p.polls, p.nodeInputs, res.Assignments)
+	l, err := c.settle(p.polls, p.nodeInputs, res.Assignments, acked)
+	if err != nil {
+		return fail("settle: %v", err)
+	}
+	// The relay's budget for ledger purposes is the grant plus the
+	// reservation it reported at demand time: the root already holds
+	// ReservedW against the global budget, so the grant covers only the
+	// reachable children.
+	budget := grant + p.reserved
+	dec := Decision{
+		At:          c.clock.Now(),
+		Trigger:     "grant",
+		Budget:      budget,
+		TablePower:  res.TablePower,
+		Reserved:    l.reserved,
+		Charged:     l.charged,
+		BudgetMet:   l.charged <= budget,
+		Degraded:    l.degradedNames,
+		Assignments: res.Assignments,
+		NodeCharged: l.nodeCharged,
+		Acked:       acked,
+	}
+	c.decisions = append(c.decisions, dec)
+	c.cfg.Metrics.setDegraded(l.degradedCount)
+	c.cfg.Metrics.setCharged(l.charged, l.reserved)
+	c.cfg.Metrics.setWire(c.cfg.WireStats)
+	c.clock.Tick()
+	return &proto.Message{
+		Kind: proto.KindGrantAck,
+		Now:  c.clock.Now(),
+		GrantAck: &proto.GrantAck{
+			ChargedW:    l.charged.W(),
+			TablePowerW: res.TablePower.W(),
+			ReservedW:   l.reserved.W(),
+			Met:         dec.BudgetMet,
+		},
+	}
+}
+
+// RelayGrant is one relay's slice of a root round.
+type RelayGrant struct {
+	Relay string
+	// Acked reports whether the relay acknowledged this round's grant (a
+	// demand-only round — no reachable children — counts as acked with
+	// the relay's reservation as its charge).
+	Acked bool
+	// Grant is the budget awarded for the relay's reachable processors.
+	Grant units.Power
+	// Charged is what the root holds for the subtree: the acknowledged
+	// ledger total, or the worst case under silence.
+	Charged units.Power
+	// TablePower/Reserved/Met echo the relay's GrantAck.
+	TablePower units.Power
+	Reserved   units.Power
+	Met        bool
+}
+
+// RootDecision is one hierarchical scheduling round at the tree root.
+type RootDecision struct {
+	At      float64
+	Trigger string
+	Budget  units.Power
+	// Reserved is the worst-case charge held outside the division: silent
+	// relays' frozen-subtree bounds plus reachable relays' own
+	// reservations for their silent children.
+	Reserved units.Power
+	// Charged is the total held against the budget across every subtree.
+	Charged units.Power
+	// BudgetMet reports Charged ≤ Budget.
+	BudgetMet bool
+	// DivideMet reports whether the least-loss division fit the live
+	// budget without hitting every curve's floor.
+	DivideMet bool
+	// Degraded lists relays currently marked degraded.
+	Degraded []string
+	Grants   []RelayGrant
+	// PassDur is the round's wall-clock latency: demand fan-out through
+	// grant settlement.
+	PassDur time.Duration
+}
+
+// Root drives a tier of relays: demand poll, least-loss division of the
+// budget across the reported curves, grant fan-out. It reuses the
+// Coordinator's transport (dialing, retry, degrade/rejoin accounting,
+// codec negotiation) with relay-shaped rounds, and the division replays
+// the flat Step-2 greedy exactly, so a fault-free tree schedules
+// byte-identically to one flat coordinator over the same leaves.
+type Root struct {
+	*Coordinator
+	rootDecisions []RootDecision
+}
+
+// NewRoot validates the configuration and prepares (but does not
+// connect) the root coordinator. Config semantics match NewCoordinator;
+// Fvsst supplies the table the division replays and the periods-per-round
+// the relays advance their subtrees by.
+func NewRoot(cfg Config, relays ...NodeSpec) (*Root, error) {
+	c, err := NewCoordinator(cfg, relays...)
+	if err != nil {
+		return nil, err
+	}
+	return &Root{Coordinator: c}, nil
+}
+
+// RootDecisions returns the hierarchical round log.
+func (r *Root) RootDecisions() []RootDecision {
+	out := make([]RootDecision, len(r.rootDecisions))
+	copy(out, r.rootDecisions)
+	return out
+}
+
+// rootWorstCharge bounds a silent relay's subtree draw: the ledger it
+// acknowledged on its last grant (settings below it cannot rise without
+// grants flowing through the relay), or the full subtree worst case when
+// it was never granted.
+func (r *Root) rootWorstCharge(ns *nodeState) units.Power {
+	if ns.granted {
+		return ns.lastCharged
+	}
+	return units.Watts(float64(ns.caps.NumCPUs) * ns.caps.MaxPowerW)
+}
+
+// demandPoll is one relay's demand-phase result, deep-copied out of the
+// connection-owned decode buffers inside the poll goroutine.
+type demandPoll struct {
+	ok        bool
+	curve     farm.DemandCurve
+	desired   []int
+	reservedW float64
+	cpuPowerW float64
+	rpc       rpcTime
+}
+
+// demandPhase polls every relay for its aggregated demand curve. Like
+// Coordinator.pollPhase, each goroutine owns its relay's state.
+func (r *Root) demandPhase(passID uint64) []demandPoll {
+	c := r.Coordinator
+	demands := make([]demandPoll, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, ns := range c.nodes {
+		wg.Add(1)
+		go func(i int, ns *nodeState) {
+			defer wg.Done()
+			resp, rt, err := c.rpc(ns, proto.KindDemandRequest, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindDemandRequest, ID: id, Trace: &proto.TraceContext{PassID: passID}, CounterRequest: &proto.CounterRequest{
+					AdvanceQuanta: c.cfg.Fvsst.SchedulePeriods,
+					WindowQuanta:  c.cfg.Fvsst.SchedulePeriods,
+				}}
+			})
+			if err != nil || resp.DemandReport == nil {
+				c.recordMiss(ns, err)
+				return
+			}
+			rep := resp.DemandReport
+			d := demandPoll{ok: true, reservedW: rep.ReservedW, cpuPowerW: rep.CPUPowerW, rpc: rt}
+			// The report's slices live in the connection's reusable decode
+			// buffers; copy before the grant RPC reuses them.
+			if len(rep.Points) > 0 {
+				d.curve.Points = make([]farm.DemandPoint, len(rep.Points))
+				for k, p := range rep.Points {
+					d.curve.Points[k] = farm.DemandPoint{
+						Power: units.Watts(p.PowerW),
+						Loss:  p.Loss,
+						Step:  farm.StepKey{Loss: p.StepLoss, Idx: p.StepIdx, Proc: p.StepProc},
+					}
+				}
+				d.desired = append([]int(nil), rep.Desired...)
+			}
+			demands[i] = d
+		}(i, ns)
+	}
+	wg.Wait()
+	return demands
+}
+
+// RunRound executes one hierarchical scheduling period: demand-poll the
+// relays, divide the budget across their curves with the flat greedy's
+// exact stop arithmetic, then grant each relay its slice. Transport
+// failures convert into frozen-subtree charges, never aborted rounds.
+func (r *Root) RunRound() error {
+	c := r.Coordinator
+	for _, ns := range c.nodes {
+		if ns.caps == nil {
+			return fmt.Errorf("netcluster: relay %s never connected; call Connect first", ns.spec.Name)
+		}
+	}
+	c.passID++
+	passID := c.passID
+	trace := c.cfg.Sink != nil
+	passStart := time.Now()
+	trigger := "timer"
+	var want units.Power
+	switch {
+	case c.cfg.Source != nil:
+		want = c.cfg.Source.BudgetAt(c.clock.Now())
+	case c.cfg.Budgets != nil:
+		want = c.cfg.Budgets.At(c.clock.Now())
+	default:
+		want = c.budget
+	}
+	if want != c.budget {
+		c.budget = want
+		trigger = "budget-change"
+	}
+
+	// Phase 1: parallel demand poll.
+	demands := r.demandPhase(passID)
+	demandDur := time.Since(passStart)
+
+	// Phase 2: hold the out-of-division charges, then divide the
+	// remainder across the reachable curves in exact flat-greedy order.
+	var reserved units.Power
+	for i, ns := range c.nodes {
+		if !demands[i].ok {
+			reserved += r.rootWorstCharge(ns)
+			continue
+		}
+		reserved += units.Watts(demands[i].reservedW)
+	}
+	liveBudget := c.budget - reserved
+	var members []int
+	var curves []farm.DemandCurve
+	var desired [][]int
+	for i := range c.nodes {
+		if demands[i].ok && len(demands[i].curve.Points) > 0 {
+			members = append(members, i)
+			curves = append(curves, demands[i].curve)
+			desired = append(desired, demands[i].desired)
+		}
+	}
+	divideStart := time.Now()
+	pos, divideMet, err := farm.DivideLeastLossExact(curves, desired, c.cfg.Fvsst.Table, liveBudget)
+	if err != nil {
+		return err
+	}
+	divideDur := time.Since(divideStart)
+
+	// Phase 3: parallel grant fan-out. Every relay that answered the
+	// demand gets a grant — 0 W when it has no reachable children — so a
+	// relay settles exactly one decision per round and its epoch clock
+	// stays in lockstep with the root's.
+	grants := make([]RelayGrant, len(c.nodes))
+	grantStart := time.Now()
+	grantRPC := make([]rpcTime, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, ns := range c.nodes {
+		grants[i].Relay = ns.spec.Name
+		if !demands[i].ok {
+			continue
+		}
+		var grantW units.Power
+		for m, idx := range members {
+			if idx == i {
+				grantW = curves[m].Points[pos[m]].Power
+				break
+			}
+		}
+		grants[i].Grant = grantW
+		wg.Add(1)
+		go func(i int, ns *nodeState, grantW units.Power) {
+			defer wg.Done()
+			resp, rt, err := c.rpc(ns, proto.KindGrant, func(id uint64) *proto.Message {
+				return &proto.Message{Kind: proto.KindGrant, ID: id, Trace: &proto.TraceContext{PassID: passID}, Grant: &proto.Grant{BudgetW: grantW.W()}}
+			})
+			if err != nil || resp.GrantAck == nil {
+				c.recordMiss(ns, err)
+				return
+			}
+			ack := resp.GrantAck
+			grants[i].Acked = true
+			grants[i].Charged = units.Watts(ack.ChargedW)
+			grants[i].TablePower = units.Watts(ack.TablePowerW)
+			grants[i].Reserved = units.Watts(ack.ReservedW)
+			grants[i].Met = ack.Met
+			grantRPC[i] = rt
+			ns.lastCharged = grants[i].Charged
+			ns.granted = true
+			c.recordAlive(ns)
+		}(i, ns, grantW)
+	}
+	wg.Wait()
+	grantDur := time.Since(grantStart)
+
+	// Phase 4: the round's ledger and decision.
+	var charged units.Power
+	var degradedNames []string
+	degradedCount := 0
+	for i, ns := range c.nodes {
+		if grants[i].Acked {
+			charged += grants[i].Charged
+			continue
+		}
+		w := r.rootWorstCharge(ns)
+		grants[i].Charged = w
+		charged += w
+		if ns.degraded {
+			degradedCount++
+			degradedNames = append(degradedNames, ns.spec.Name)
+		}
+	}
+	dec := RootDecision{
+		At:        c.clock.Now(),
+		Trigger:   trigger,
+		Budget:    c.budget,
+		Reserved:  reserved,
+		Charged:   charged,
+		BudgetMet: charged <= c.budget,
+		DivideMet: divideMet,
+		Degraded:  degradedNames,
+		Grants:    grants,
+		PassDur:   time.Since(passStart),
+	}
+	r.rootDecisions = append(r.rootDecisions, dec)
+	c.cfg.Metrics.setDegraded(degradedCount)
+	c.cfg.Metrics.setCharged(charged, reserved)
+	c.cfg.Metrics.setWire(c.cfg.WireStats)
+
+	if trace {
+		at := c.clock.Now()
+		sink := c.cfg.Sink
+		var cpuPowerW float64
+		for i := range demands {
+			if demands[i].ok {
+				cpuPowerW += demands[i].cpuPowerW
+			}
+		}
+		sink.Emit(obs.Event{
+			Type:      obs.EventQuantum,
+			At:        at,
+			PassID:    passID,
+			BudgetW:   c.budget.W(),
+			CPUPowerW: cpuPowerW,
+			ChargedW:  charged.W(),
+			ReservedW: reserved.W(),
+		})
+		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanPoll, obs.SpanPass, demandDur.Seconds()))
+		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanDivide, obs.SpanPass, divideDur.Seconds()))
+		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanActuate, obs.SpanPass, grantDur.Seconds()))
+		for i, ns := range c.nodes {
+			if demands[i].ok {
+				sink.Emit(rpcSpan(at, passID, ns.spec.Name, obs.SpanRPCDemand, passStart, demands[i].rpc))
+			}
+			if grants[i].Acked && grants[i].Grant > 0 {
+				sink.Emit(rpcSpan(at, passID, ns.spec.Name, obs.SpanRPCGrant, grantStart, grantRPC[i]))
+			}
+		}
+		c.emitCodecSpans(at, passID)
+		sink.Emit(obs.SpanEvent(at, passID, "", obs.SpanPass, "", time.Since(passStart).Seconds()))
+	}
+
+	c.clock.Tick()
+	return nil
+}
+
+// Run drives hierarchical rounds until the root epoch reaches t seconds.
+func (r *Root) Run(until float64) error {
+	for r.clock.Now() < until {
+		if err := r.RunRound(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,591 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/netcluster/proto"
+)
+
+// kindByte maps a proto kind string to its binary kind byte; ok=false for
+// kinds that stay JSON (hello, capabilities, error).
+func kindByte(kind string) (byte, bool) {
+	switch kind {
+	case proto.KindHeartbeat:
+		return kindHeartbeat, true
+	case proto.KindHeartbeatAck:
+		return kindHeartbeatAck, true
+	case proto.KindCounterRequest:
+		return kindCounterRequest, true
+	case proto.KindCounterReport:
+		return kindCounterReport, true
+	case proto.KindActuate:
+		return kindActuate, true
+	case proto.KindActuateAck:
+		return kindActuateAck, true
+	case proto.KindDemandRequest:
+		return kindDemandRequest, true
+	case proto.KindDemandReport:
+		return kindDemandReport, true
+	case proto.KindGrant:
+		return kindGrant, true
+	case proto.KindGrantAck:
+		return kindGrantAck, true
+	default:
+		return 0, false
+	}
+}
+
+// kindString inverts kindByte.
+func kindString(k byte) (string, bool) {
+	switch k {
+	case kindHeartbeat:
+		return proto.KindHeartbeat, true
+	case kindHeartbeatAck:
+		return proto.KindHeartbeatAck, true
+	case kindCounterRequest:
+		return proto.KindCounterRequest, true
+	case kindCounterReport:
+		return proto.KindCounterReport, true
+	case kindActuate:
+		return proto.KindActuate, true
+	case kindActuateAck:
+		return proto.KindActuateAck, true
+	case kindDemandRequest:
+		return proto.KindDemandRequest, true
+	case kindDemandReport:
+		return proto.KindDemandReport, true
+	case kindGrant:
+		return proto.KindGrant, true
+	case kindGrantAck:
+		return proto.KindGrantAck, true
+	default:
+		return "", false
+	}
+}
+
+// putF64 appends a float's raw IEEE-754 bits big-endian: exact
+// round-trip, fixed 8 bytes.
+func putF64(b []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// cpuBase holds one CPU's previous counter values, the base a delta
+// report is encoded against (and reconstructed from).
+type cpuBase struct {
+	instructions uint64
+	cycles       uint64
+	halted       uint64
+	l2           uint64
+	l3           uint64
+	mem          uint64
+}
+
+func baseOf(r proto.CPUReport) cpuBase {
+	return cpuBase{
+		instructions: r.Instructions,
+		cycles:       r.Cycles,
+		halted:       r.HaltedCycles,
+		l2:           r.L2Refs,
+		l3:           r.L3Refs,
+		mem:          r.MemRefs,
+	}
+}
+
+// deltaSendState is the reporter side of the delta protocol: the sequence
+// of the last report sent, the last sequence the peer acked (carried on
+// its counter/demand requests; zeroed when a request arrives as JSON),
+// and the values of the last report. Deltas are only sent when ackSeq ==
+// seq — the peer provably holds exactly the base we would encode against.
+type deltaSendState struct {
+	seq    uint64
+	ackSeq uint64
+	base   []cpuBase
+}
+
+// deltaRecvState is the receiver side: the last sequence received (acked
+// on outgoing requests) and the reconstruction base.
+type deltaRecvState struct {
+	seq     uint64
+	baseSeq uint64
+	base    []cpuBase
+}
+
+// appendMessage encodes m into b using the binary codec. ok=false means
+// the kind has no binary form and the caller must fall back to JSON. ds
+// may be nil when the sender never emits counter reports.
+func appendMessage(b []byte, m *proto.Message, ds *deltaSendState, ackSeq uint64) (out []byte, ok bool, err error) {
+	kb, ok := kindByte(m.Kind)
+	if !ok {
+		return b, false, nil
+	}
+	var flags byte
+	if m.Trace != nil {
+		flags |= flagTrace
+	}
+	delta := false
+	if kb == kindCounterReport {
+		rep := m.CounterReport
+		if rep == nil {
+			return b, false, fmt.Errorf("wire: %s message without payload", m.Kind)
+		}
+		delta = ds != nil && ds.seq != 0 && ds.ackSeq == ds.seq && len(ds.base) == len(rep.CPUs)
+		if delta {
+			flags |= flagDelta
+		}
+	}
+	b = append(b, Magic, Version, kb, flags)
+	b = binary.AppendUvarint(b, m.ID)
+	b = putF64(b, m.Now)
+	if m.Trace != nil {
+		b = binary.AppendUvarint(b, m.Trace.PassID)
+	}
+	b = putF64(b, m.ServiceSec)
+
+	switch kb {
+	case kindHeartbeat, kindHeartbeatAck:
+		// Envelope only.
+	case kindCounterRequest, kindDemandRequest:
+		req := m.CounterRequest
+		if req == nil {
+			return b, false, fmt.Errorf("wire: %s message without payload", m.Kind)
+		}
+		b = binary.AppendVarint(b, int64(req.AdvanceQuanta))
+		b = binary.AppendVarint(b, int64(req.WindowQuanta))
+		b = binary.AppendUvarint(b, ackSeq)
+	case kindCounterReport:
+		b = appendCounterReport(b, m.CounterReport, ds, delta)
+	case kindActuate:
+		act := m.Actuate
+		if act == nil {
+			return b, false, fmt.Errorf("wire: %s message without payload", m.Kind)
+		}
+		b = appendFloats(b, act.FreqsMHz)
+	case kindActuateAck:
+		ack := m.ActuateAck
+		if ack == nil {
+			return b, false, fmt.Errorf("wire: %s message without payload", m.Kind)
+		}
+		b = appendFloats(b, ack.AppliedMHz)
+	case kindDemandReport:
+		rep := m.DemandReport
+		if rep == nil {
+			return b, false, fmt.Errorf("wire: %s message without payload", m.Kind)
+		}
+		b = appendDemandReport(b, rep)
+	case kindGrant:
+		g := m.Grant
+		if g == nil {
+			return b, false, fmt.Errorf("wire: %s message without payload", m.Kind)
+		}
+		b = putF64(b, g.BudgetW)
+	case kindGrantAck:
+		ack := m.GrantAck
+		if ack == nil {
+			return b, false, fmt.Errorf("wire: %s message without payload", m.Kind)
+		}
+		b = putF64(b, ack.ChargedW)
+		b = putF64(b, ack.TablePowerW)
+		b = putF64(b, ack.ReservedW)
+		b = append(b, boolByte(ack.Met))
+	}
+	return b, true, nil
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func appendFloats(b []byte, fs []float64) []byte {
+	b = binary.AppendUvarint(b, uint64(len(fs)))
+	for _, f := range fs {
+		b = putF64(b, f)
+	}
+	return b
+}
+
+// appendCounterReport encodes the report and advances ds: the report gets
+// the next sequence number and becomes the new delta base.
+func appendCounterReport(b []byte, rep *proto.CounterReport, ds *deltaSendState, delta bool) []byte {
+	seq := uint64(1)
+	if ds != nil {
+		seq = ds.seq + 1
+	}
+	b = binary.AppendUvarint(b, seq)
+	if delta {
+		b = binary.AppendUvarint(b, ds.seq)
+	}
+	b = putF64(b, rep.CPUPowerW)
+	b = putF64(b, rep.SystemPowerW)
+	b = binary.AppendUvarint(b, uint64(len(rep.CPUs)))
+	for i, c := range rep.CPUs {
+		b = append(b, boolByte(c.Idle))
+		b = putF64(b, c.WindowSec)
+		if delta {
+			p := ds.base[i]
+			b = binary.AppendVarint(b, int64(c.Instructions-p.instructions))
+			b = binary.AppendVarint(b, int64(c.Cycles-p.cycles))
+			b = binary.AppendVarint(b, int64(c.HaltedCycles-p.halted))
+			b = binary.AppendVarint(b, int64(c.L2Refs-p.l2))
+			b = binary.AppendVarint(b, int64(c.L3Refs-p.l3))
+			b = binary.AppendVarint(b, int64(c.MemRefs-p.mem))
+		} else {
+			b = binary.AppendUvarint(b, c.Instructions)
+			b = binary.AppendUvarint(b, c.Cycles)
+			b = binary.AppendUvarint(b, c.HaltedCycles)
+			b = binary.AppendUvarint(b, c.L2Refs)
+			b = binary.AppendUvarint(b, c.L3Refs)
+			b = binary.AppendUvarint(b, c.MemRefs)
+		}
+	}
+	if ds != nil {
+		ds.base = ds.base[:0]
+		for _, c := range rep.CPUs {
+			ds.base = append(ds.base, baseOf(c))
+		}
+		ds.seq = seq
+	}
+	return b
+}
+
+func appendDemandReport(b []byte, rep *proto.DemandReport) []byte {
+	b = binary.AppendUvarint(b, uint64(len(rep.Points)))
+	for _, p := range rep.Points {
+		b = putF64(b, p.PowerW)
+		b = putF64(b, p.Loss)
+		b = putF64(b, p.StepLoss)
+		b = binary.AppendVarint(b, int64(p.StepIdx))
+		b = binary.AppendVarint(b, int64(p.StepProc))
+	}
+	b = binary.AppendUvarint(b, uint64(len(rep.Desired)))
+	for _, d := range rep.Desired {
+		b = binary.AppendVarint(b, int64(d))
+	}
+	b = putF64(b, rep.ReservedW)
+	b = putF64(b, rep.CPUPowerW)
+	b = putF64(b, rep.SystemPowerW)
+	b = binary.AppendUvarint(b, uint64(len(rep.Degraded)))
+	for _, d := range rep.Degraded {
+		b = binary.AppendUvarint(b, uint64(len(d)))
+		b = append(b, d...)
+	}
+	return b
+}
+
+// reader decodes a binary payload with a sticky error, so decode code
+// reads linearly and the first failure wins.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n == 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	if n < 0 {
+		r.fail(ErrCorrupt)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n == 0 {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	if n < 0 {
+		r.fail(ErrCorrupt)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.fail(ErrTruncated)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v
+}
+
+func (r *reader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(ErrCorrupt)
+		return false
+	}
+}
+
+// count reads an element count and bounds it by the remaining payload
+// bytes (every element occupies at least one byte), so a hostile count
+// cannot force a huge reconstruction loop.
+func (r *reader) count() int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail(ErrCorrupt)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// message bundles a reusable decoded Message with conn-owned payload
+// structs: decodeBinary fills these in place, so a steady stream of hot
+// frames allocates nothing. The returned *proto.Message (and everything
+// it points to) is valid only until the next decode on the same conn.
+type message struct {
+	msg        proto.Message
+	trace      proto.TraceContext
+	counterReq proto.CounterRequest
+	counterRep proto.CounterReport
+	actuate    proto.Actuate
+	actuateAck proto.ActuateAck
+	demandRep  proto.DemandReport
+	grant      proto.Grant
+	grantAck   proto.GrantAck
+}
+
+// decodeBinary decodes one binary payload into dst, updating the delta
+// protocol state: a counter/demand request's ackSeq lands in ds (the
+// responder's send state), a counter report reconstructs against and
+// advances rs. Every error is (or wraps) one of the package's typed
+// errors; arbitrary input must never panic.
+func decodeBinary(payload []byte, dst *message, ds *deltaSendState, rs *deltaRecvState) (*proto.Message, error) {
+	if len(payload) < 4 {
+		return nil, ErrTruncated
+	}
+	if payload[0] != Magic {
+		return nil, ErrBadMagic
+	}
+	if payload[1] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, payload[1])
+	}
+	kb := payload[2]
+	ks, ok := kindString(kb)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kb)
+	}
+	flags := payload[3]
+	if flags&^(flagDelta|flagTrace) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags)
+	}
+	if flags&flagDelta != 0 && kb != kindCounterReport {
+		return nil, fmt.Errorf("%w: delta flag on %s", ErrCorrupt, ks)
+	}
+
+	r := reader{b: payload, off: 4}
+	dst.msg = proto.Message{V: proto.Version, Kind: ks}
+	m := &dst.msg
+	m.ID = r.uvarint()
+	m.Now = r.f64()
+	if flags&flagTrace != 0 {
+		dst.trace.PassID = r.uvarint()
+		m.Trace = &dst.trace
+	}
+	m.ServiceSec = r.f64()
+
+	switch kb {
+	case kindHeartbeat, kindHeartbeatAck:
+		// Envelope only.
+	case kindCounterRequest, kindDemandRequest:
+		req := &dst.counterReq
+		req.AdvanceQuanta = int(r.varint())
+		req.WindowQuanta = int(r.varint())
+		ackSeq := r.uvarint()
+		m.CounterRequest = req
+		if r.err == nil && ds != nil {
+			ds.ackSeq = ackSeq
+		}
+	case kindCounterReport:
+		if err := decodeCounterReport(&r, dst, rs, flags&flagDelta != 0); err != nil {
+			return nil, err
+		}
+	case kindActuate:
+		act := &dst.actuate
+		act.FreqsMHz = readFloats(&r, act.FreqsMHz)
+		m.Actuate = act
+	case kindActuateAck:
+		ack := &dst.actuateAck
+		ack.AppliedMHz = readFloats(&r, ack.AppliedMHz)
+		m.ActuateAck = ack
+	case kindDemandReport:
+		rep := &dst.demandRep
+		decodeDemandReport(&r, rep)
+		m.DemandReport = rep
+	case kindGrant:
+		dst.grant.BudgetW = r.f64()
+		m.Grant = &dst.grant
+	case kindGrantAck:
+		ack := &dst.grantAck
+		ack.ChargedW = r.f64()
+		ack.TablePowerW = r.f64()
+		ack.ReservedW = r.f64()
+		ack.Met = r.bool()
+		m.GrantAck = ack
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.b)-r.off)
+	}
+	return m, nil
+}
+
+func readFloats(r *reader, into []float64) []float64 {
+	n := r.count()
+	into = into[:0]
+	for i := 0; i < n && r.err == nil; i++ {
+		into = append(into, r.f64())
+	}
+	return into
+}
+
+// decodeCounterReport reconstructs a report, applying deltas against the
+// receiver's base when flagged, and advances the base to the new values.
+func decodeCounterReport(r *reader, dst *message, rs *deltaRecvState, delta bool) error {
+	rep := &dst.counterRep
+	seq := r.uvarint()
+	var baseSeq uint64
+	if delta {
+		baseSeq = r.uvarint()
+		if r.err == nil && (rs == nil || rs.baseSeq != baseSeq || rs.baseSeq == 0) {
+			have := uint64(0)
+			if rs != nil {
+				have = rs.baseSeq
+			}
+			return fmt.Errorf("%w: frame base %d, receiver base %d", ErrDeltaBase, baseSeq, have)
+		}
+	}
+	rep.CPUPowerW = r.f64()
+	rep.SystemPowerW = r.f64()
+	n := r.count()
+	if delta && r.err == nil && n != len(rs.base) {
+		return fmt.Errorf("%w: delta report has %d CPUs, base has %d", ErrDeltaBase, n, len(rs.base))
+	}
+	rep.CPUs = rep.CPUs[:0]
+	for i := 0; i < n && r.err == nil; i++ {
+		var c proto.CPUReport
+		c.Idle = r.bool()
+		c.WindowSec = r.f64()
+		if delta {
+			p := rs.base[i]
+			c.Instructions = p.instructions + uint64(r.varint())
+			c.Cycles = p.cycles + uint64(r.varint())
+			c.HaltedCycles = p.halted + uint64(r.varint())
+			c.L2Refs = p.l2 + uint64(r.varint())
+			c.L3Refs = p.l3 + uint64(r.varint())
+			c.MemRefs = p.mem + uint64(r.varint())
+		} else {
+			c.Instructions = r.uvarint()
+			c.Cycles = r.uvarint()
+			c.HaltedCycles = r.uvarint()
+			c.L2Refs = r.uvarint()
+			c.L3Refs = r.uvarint()
+			c.MemRefs = r.uvarint()
+		}
+		rep.CPUs = append(rep.CPUs, c)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if rs != nil {
+		rs.base = rs.base[:0]
+		for _, c := range rep.CPUs {
+			rs.base = append(rs.base, baseOf(c))
+		}
+		rs.baseSeq = seq
+		rs.seq = seq
+	}
+	dst.msg.CounterReport = rep
+	return nil
+}
+
+func decodeDemandReport(r *reader, rep *proto.DemandReport) {
+	n := r.count()
+	rep.Points = rep.Points[:0]
+	for i := 0; i < n && r.err == nil; i++ {
+		var p proto.DemandPoint
+		p.PowerW = r.f64()
+		p.Loss = r.f64()
+		p.StepLoss = r.f64()
+		p.StepIdx = int(r.varint())
+		p.StepProc = int(r.varint())
+		rep.Points = append(rep.Points, p)
+	}
+	n = r.count()
+	rep.Desired = rep.Desired[:0]
+	for i := 0; i < n && r.err == nil; i++ {
+		rep.Desired = append(rep.Desired, int(r.varint()))
+	}
+	rep.ReservedW = r.f64()
+	rep.CPUPowerW = r.f64()
+	rep.SystemPowerW = r.f64()
+	n = r.count()
+	rep.Degraded = rep.Degraded[:0]
+	for i := 0; i < n && r.err == nil; i++ {
+		l := r.count()
+		rep.Degraded = append(rep.Degraded, string(r.bytes(l)))
+	}
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/netcluster/proto"
+)
+
+// TestDeltaPropertyLossyChannel is the delta protocol's property test:
+// whatever sequence of report losses, request (ack) losses, duplicated
+// deliveries, and full reconnects occurs, every report that reaches the
+// receiver reconstructs to the sender's exact full snapshot. The model
+// mirrors faultnet's failure modes — a drop loses the frame before any
+// receiver state change, a dup re-encodes and delivers twice (faultnet
+// duplicates at Send, so the second copy is a fresh encode) — plus
+// coordinator-driven reconnects that reset both ends' conn state.
+func TestDeltaPropertyLossyChannel(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var ds deltaSendState
+		var rs deltaRecvState
+		var dec message
+
+		deliverReport := func(rep *proto.CounterReport) {
+			t.Helper()
+			b, ok, err := appendMessage(nil, &proto.Message{Kind: proto.KindCounterReport, ID: 1, CounterReport: rep}, &ds, 0)
+			if !ok || err != nil {
+				t.Fatalf("seed %d: encode ok=%v err=%v", seed, ok, err)
+			}
+			got, err := decodeBinary(b, &dec, nil, &rs)
+			if errors.Is(err, ErrDeltaBase) {
+				// Transport tears the conn down; both ends restart.
+				ds = deltaSendState{}
+				rs = deltaRecvState{}
+				return
+			}
+			if err != nil {
+				t.Fatalf("seed %d: decode: %v", seed, err)
+			}
+			want := *rep
+			if !reflect.DeepEqual(*got.CounterReport, want) {
+				t.Fatalf("seed %d: reconstructed report diverged\n got %+v\nwant %+v", seed, *got.CounterReport, want)
+			}
+		}
+
+		for round := 0; round < 300; round++ {
+			// The coordinator's request: delivered (sender learns the ack)
+			// or lost (sender keeps its stale ack — it must then send full
+			// or a delta its peer can still apply).
+			switch rng.Intn(10) {
+			case 0:
+				// Request lost entirely: ack does not advance.
+			case 1:
+				// JSON request (mixed fleet): explicit no-ack.
+				ds.ackSeq = 0
+			default:
+				ds.ackSeq = rs.seq
+			}
+
+			rep := sampleReport(4, rng.Int63())
+			switch rng.Intn(12) {
+			case 0:
+				// Report dropped before the wire: sender state already
+				// advanced (encode ran), receiver saw nothing.
+				_, _, err := appendMessage(nil, &proto.Message{Kind: proto.KindCounterReport, ID: 1, CounterReport: rep}, &ds, 0)
+				if err != nil {
+					t.Fatalf("seed %d: encode: %v", seed, err)
+				}
+			case 1:
+				// Duplicated delivery: two fresh encodes, both delivered.
+				deliverReport(rep)
+				deliverReport(rep)
+			case 2:
+				// Reconnect (coordinator redial / agent restart): fresh
+				// conn state both sides.
+				ds = deltaSendState{}
+				rs = deltaRecvState{}
+				deliverReport(rep)
+			default:
+				deliverReport(rep)
+			}
+
+			// Occasionally the CPU count changes (caps resync): delta must
+			// not be attempted against a mismatched base.
+			if rng.Intn(40) == 0 {
+				deliverReport(sampleReport(2+rng.Intn(6), rng.Int63()))
+			}
+		}
+	}
+}
+
+// TestDeltaDropForcesFull pins the retry path: a report lost after encode
+// leaves the sender one sequence ahead of the receiver's ack, so the next
+// report must be a full snapshot, not a delta the receiver cannot apply.
+func TestDeltaDropForcesFull(t *testing.T) {
+	var ds deltaSendState
+	var rs deltaRecvState
+	var dec message
+
+	send := func(rep *proto.CounterReport, deliver bool) *proto.Message {
+		t.Helper()
+		ds.ackSeq = rs.seq
+		b, _, err := appendMessage(nil, &proto.Message{Kind: proto.KindCounterReport, ID: 1, CounterReport: rep}, &ds, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !deliver {
+			return nil
+		}
+		m, err := decodeBinary(b, &dec, nil, &rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	send(sampleReport(4, 1), true)  // seq 1 full, delivered
+	send(sampleReport(4, 2), false) // seq 2 delta, dropped
+	rep := sampleReport(4, 3)
+	m := send(rep, true) // ack still 1 ≠ sent 2 → full
+	if !reflect.DeepEqual(*m.CounterReport, *rep) {
+		t.Fatal("post-drop report diverged")
+	}
+	if rs.seq != 3 || rs.baseSeq != 3 {
+		t.Fatalf("receiver at seq %d base %d, want 3/3", rs.seq, rs.baseSeq)
+	}
+}

@@ -1,0 +1,121 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netcluster/proto"
+)
+
+// readerConn adapts a byte slice into the net.Conn shape NewConn expects,
+// mirroring proto's FuzzRecvFrame harness.
+type readerConn struct {
+	r *bytes.Reader
+}
+
+func (c *readerConn) Read(p []byte) (int, error)       { return c.r.Read(p) }
+func (c *readerConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *readerConn) Close() error                     { return nil }
+func (c *readerConn) LocalAddr() net.Addr              { return nil }
+func (c *readerConn) RemoteAddr() net.Addr             { return nil }
+func (c *readerConn) SetDeadline(time.Time) error      { return nil }
+func (c *readerConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *readerConn) SetWriteDeadline(time.Time) error { return nil }
+
+// frame wraps a payload in the 4-byte big-endian length header.
+func frame(payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[4:], payload)
+	return out
+}
+
+// typedWireError reports whether err is one of the package's typed decode
+// errors (possibly wrapped).
+func typedWireError(err error) bool {
+	for _, target := range []error{ErrBadMagic, ErrBadVersion, ErrBadKind, ErrTruncated, ErrTooLarge, ErrCorrupt, ErrDeltaBase} {
+		if errors.Is(err, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzWireDecode drives the dual-codec frame decoder with arbitrary wire
+// bytes, mirroring proto's FuzzRecvFrame. The decoder must never panic:
+// oversized, truncated, mis-versioned, and structurally corrupt binary
+// frames surface as the package's typed errors; malformed JSON frames as
+// decode errors. Successfully decoded messages must re-encode within the
+// frame bound.
+func FuzzWireDecode(f *testing.F) {
+	for _, m := range hotMessages() {
+		var ds deltaSendState
+		b, ok, err := appendMessage(nil, m, &ds, 3)
+		if !ok || err != nil {
+			f.Fatalf("seed %s: ok=%v err=%v", m.Kind, ok, err)
+		}
+		f.Add(frame(b))
+	}
+	// A full report followed by a delta against it.
+	var ds deltaSendState
+	ds.ackSeq = 0
+	full, _, _ := appendMessage(nil, &proto.Message{Kind: proto.KindCounterReport, ID: 1, CounterReport: sampleReport(2, 1)}, &ds, 0)
+	ds.ackSeq = ds.seq
+	delta, _, _ := appendMessage(nil, &proto.Message{Kind: proto.KindCounterReport, ID: 2, CounterReport: sampleReport(2, 2)}, &ds, 0)
+	f.Add(append(frame(full), frame(delta)...))
+
+	good, _ := json.Marshal(&proto.Message{V: proto.Version, Kind: proto.KindHello, Hello: &proto.Hello{Coordinator: "c0", Codecs: []string{CodecName}}})
+	f.Add(frame(good))
+	f.Add(frame([]byte{Magic}))                            // truncated binary header
+	f.Add(frame([]byte{Magic, 99, kindHeartbeat, 0, 0}))   // bad version
+	f.Add(frame([]byte{Magic, Version, 200, 0, 0}))        // bad kind
+	f.Add(frame([]byte{Magic, Version, kindHeartbeat, 4})) // bad flags
+	f.Add([]byte{0, 0, 0, 0})                              // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})                  // 4GiB claim: rejected, not allocated
+	f.Add(frame([]byte{Magic, Version, kindCounterReport, flagDelta, 1, 0, 0, 0, 0, 0, 0, 0, 0}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(&readerConn{r: bytes.NewReader(data)}, Options{Mirror: true, Stats: &Stats{}})
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					return
+				}
+				if !typedWireError(err) && !strings.Contains(err.Error(), "wire:") {
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				return
+			}
+			if m.V != proto.Version {
+				t.Fatalf("accepted version %d", m.V)
+			}
+			if _, okKind := kindByte(m.Kind); !okKind && m.Kind != "" {
+				// JSON frames may carry any kind; binary kinds must map.
+				_ = m.Kind
+			}
+			payload, err := json.Marshal(m)
+			if err != nil {
+				// Binary frames carry NaN/Inf bit-exactly; JSON cannot.
+				// Such messages must still re-encode through the binary
+				// codec.
+				var ds2 deltaSendState
+				b2, okBin, binErr := appendMessage(nil, m, &ds2, 0)
+				if !okBin || binErr != nil {
+					t.Fatalf("decoded message re-encodes in neither codec: json %v, binary ok=%v err=%v", err, okBin, binErr)
+				}
+				payload = b2
+			}
+			if len(payload) > proto.MaxMessageSize+1024 {
+				t.Fatalf("decoded message re-encodes to %d bytes, past the frame bound", len(payload))
+			}
+		}
+	})
+}

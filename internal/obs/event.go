@@ -76,6 +76,17 @@ const (
 	// with the queue/wire/apply latency breakdown filled in.
 	SpanRPCCounters = "rpc:counters"
 	SpanRPCActuate  = "rpc:actuate"
+	// SpanRPCDemand / SpanRPCGrant are the relay tier's round-trips: a
+	// root's demand poll of one relay and the grant that answers it.
+	SpanRPCDemand = "rpc:demand"
+	SpanRPCGrant  = "rpc:grant"
+	// SpanEncode / SpanDecode aggregate the wire codec's per-pass
+	// encode/decode time across a coordinator's connections.
+	SpanEncode = "encode"
+	SpanDecode = "decode"
+	// SpanDivide is the root's least-loss division of the budget across
+	// relay demand curves (the hierarchical Step-2 merge).
+	SpanDivide = "divide"
 	// SpanAlloc is one farm-level reallocation pass.
 	SpanAlloc = "alloc"
 )

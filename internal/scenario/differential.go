@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/netcluster/wire"
 )
 
 // Divergence is one round whose traces differ outside every declared
@@ -49,13 +51,68 @@ func RunDifferential(spec Spec, opt NetOptions) (*DiffResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: networked run: %w", err)
 	}
-	d := &DiffResult{Spec: spec, InProc: inproc, Net: netRun}
+	return diffRuns(spec, inproc, netRun, "in-proc", "net"), nil
+}
+
+// RunCodecDifferential runs the same scenario through the networked
+// stack twice — JSON payloads vs the negotiated binary codec with delta
+// counter reports — and compares the traces. The codecs carry the same
+// values losslessly (floats travel as their exact bit patterns), and
+// faultnet's fault draws depend only on send order, which the codec does
+// not change, so outside fault windows the rendered rounds must match
+// byte for byte.
+func RunCodecDifferential(spec Spec, opt NetOptions) (*DiffResult, error) {
+	spec = spec.WithoutUPS().WithoutServing()
+	jsonOpt, binOpt := opt, opt
+	jsonOpt.Codec = ""
+	binOpt.Codec = wire.CodecName
+	jsonRun, err := RunNet(spec, jsonOpt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: json run: %w", err)
+	}
+	binRun, err := RunNet(spec, binOpt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: binary run: %w", err)
+	}
+	return diffRuns(spec, jsonRun, binRun, "json", "bin"), nil
+}
+
+// RunTierDifferential runs the fault-free projection of the scenario
+// through the flat JSON coordinator and through the 2-level binary relay
+// tree and compares the traces, which must match byte for byte on every
+// round: the hierarchical divide is exact, the relay ledger reassembles
+// in global node order, and without faults no conservative-charge path
+// triggers. Faults are stripped (rather than windowed) because the two
+// topologies draw from differently-shaped fault streams, so in-window
+// behaviour is not comparable.
+func RunTierDifferential(spec Spec, opt NetOptions) (*DiffResult, error) {
+	spec = spec.FaultFree().WithoutUPS().WithoutServing()
+	flatOpt := opt
+	flatOpt.Codec = ""
+	treeOpt := opt
+	treeOpt.Codec = wire.CodecName
+	flat, err := RunNet(spec, flatOpt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: flat run: %w", err)
+	}
+	tree, err := RunRelayNet(spec, treeOpt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: relay run: %w", err)
+	}
+	return diffRuns(spec, flat, tree, "flat", "tree"), nil
+}
+
+// diffRuns compares two runs of the same spec round by round: outside
+// declared fault windows the rendered rounds must match byte for byte;
+// inside them differences are recorded but allowed.
+func diffRuns(spec Spec, base, variant *RunResult, baseLabel, variantLabel string) *DiffResult {
+	d := &DiffResult{Spec: spec, InProc: base, Net: variant}
 	for r := 0; r < spec.Rounds; r++ {
 		inWindow := spec.faultAffected(r)
 		if inWindow {
 			d.FaultRounds++
 		}
-		a, b := renderOne(inproc.Trace, r), renderOne(netRun.Trace, r)
+		a, b := renderOne(base.Trace, r), renderOne(variant.Trace, r)
 		if a == b {
 			continue
 		}
@@ -63,10 +120,10 @@ func RunDifferential(spec Spec, opt NetOptions) (*DiffResult, error) {
 			d.InWindowDiffs++
 			continue
 		}
-		d.Divergences = append(d.Divergences, Divergence{Round: r, Detail: firstDiff(a, b, "in-proc", "net")})
+		d.Divergences = append(d.Divergences, Divergence{Round: r, Detail: firstDiff(a, b, baseLabel, variantLabel)})
 	}
 	d.Equivalent = len(d.Divergences) == 0
-	return d, nil
+	return d
 }
 
 func renderOne(trace []RoundTrace, r int) string {

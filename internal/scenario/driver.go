@@ -83,13 +83,13 @@ type ProcTrace struct {
 // in shape for the in-process mirror and the networked coordinator so
 // the differential harness can compare them line by line.
 type RoundTrace struct {
-	Round     int         `json:"round"`
-	At        float64     `json:"at"`
-	Trigger   string      `json:"trigger"`
-	BudgetW   float64     `json:"budget_w"`
-	LiveW     float64     `json:"live_w"`
-	ReservedW float64     `json:"reserved_w"`
-	ChargedW  float64     `json:"charged_w"`
+	Round     int          `json:"round"`
+	At        float64      `json:"at"`
+	Trigger   string       `json:"trigger"`
+	BudgetW   float64      `json:"budget_w"`
+	LiveW     float64      `json:"live_w"`
+	ReservedW float64      `json:"reserved_w"`
+	ChargedW  float64      `json:"charged_w"`
 	Met       bool         `json:"met"`
 	Degraded  []string     `json:"degraded,omitempty"`
 	Procs     []ProcTrace  `json:"procs"`
@@ -122,6 +122,9 @@ type RunResult struct {
 	Text       string                `json:"-"`
 	Hash       string                `json:"hash"`
 	Violations []invariant.Violation `json:"violations,omitempty"`
+	// MaxPassLatencyS is the slowest root pass in seconds (relay driver
+	// only); excluded from Text so it never perturbs trace hashes.
+	MaxPassLatencyS float64 `json:"max_pass_latency_s,omitempty"`
 }
 
 func finishResult(res *RunResult, suite *invariant.Suite) {

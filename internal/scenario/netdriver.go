@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/netcluster"
 	"repro/internal/netcluster/faultnet"
+	"repro/internal/netcluster/wire"
 )
 
 // NetOptions tunes the loopback netcluster driver.
@@ -15,6 +16,13 @@ type NetOptions struct {
 	// RPCTimeout bounds each RPC attempt; a partitioned node costs about
 	// one timeout per round. Default 150 ms.
 	RPCTimeout time.Duration
+	// Codec selects the hot-message payload encoding on every link: ""
+	// or "json" for the inspectable default, wire.CodecName for the
+	// negotiated binary codec with delta-encoded counter reports.
+	Codec string
+	// Relays is RunRelayNet's relay count (ignored by RunNet). Default
+	// 2, clamped to the node count; nodes split into contiguous groups.
+	Relays int
 }
 
 // RunNet runs the scenario through the real networked stack: one TCP
@@ -47,6 +55,9 @@ func RunNet(spec Spec, opt NetOptions) (*RunResult, error) {
 	}
 
 	net := faultnet.New(spec.Seed)
+	if opt.Codec == wire.CodecName {
+		net.SetTransport(wire.Dial)
+	}
 	agents := make([]*netcluster.Agent, len(spec.Nodes))
 	machines := make([]*machine.Machine, len(spec.Nodes))
 	specs := make([]netcluster.NodeSpec, len(spec.Nodes))
@@ -91,6 +102,7 @@ func RunNet(spec Spec, opt NetOptions) (*RunResult, error) {
 		BackoffMax:  2 * time.Millisecond,
 		Seed:        spec.Seed,
 		Dialer:      net,
+		Codec:       opt.Codec,
 	}, specs...)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,267 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/invariant"
+	"repro/internal/machine"
+	"repro/internal/netcluster"
+	"repro/internal/netcluster/faultnet"
+	"repro/internal/netcluster/wire"
+	"repro/internal/units"
+)
+
+// RunRelayNet runs the scenario through the hierarchical networked
+// stack: the nodes split into opt.Relays contiguous groups, each group
+// behind a netcluster.Relay (agent protocol upward, coordinator protocol
+// downward), driven by one netcluster.Root that divides the global
+// budget across the relays' aggregated demand curves. The returned trace
+// has the same canonical shape as RunNet's, reassembled from the relays'
+// per-node decisions in global node order — on a fault-free spec it is
+// byte-identical to the flat driver's.
+//
+// Fault injection (partitions, message-fault policies) applies on the
+// relay→leaf links through one seeded faultnet per relay; root↔relay
+// links are never faulted by this driver, so every round settles exactly
+// one decision per relay and the logs stay aligned.
+func RunRelayNet(spec Spec, opt NetOptions) (*RunResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.UPS != nil {
+		return nil, fmt.Errorf("scenario: networked driver does not model UPS drain; use Spec.WithoutUPS")
+	}
+	if opt.RPCTimeout == 0 {
+		opt.RPCTimeout = 150 * time.Millisecond
+	}
+	nRelays := opt.Relays
+	if nRelays == 0 {
+		nRelays = 2
+	}
+	if nRelays > len(spec.Nodes) {
+		nRelays = len(spec.Nodes)
+	}
+	if nRelays < 1 {
+		return nil, fmt.Errorf("scenario: relay count %d must be positive", nRelays)
+	}
+	fcfg, err := spec.fvsstConfig()
+	if err != nil {
+		return nil, err
+	}
+	source, _, err := spec.source()
+	if err != nil {
+		return nil, err
+	}
+
+	agents := make([]*netcluster.Agent, len(spec.Nodes))
+	machines := make([]*machine.Machine, len(spec.Nodes))
+	defer func() {
+		for _, a := range agents {
+			if a != nil {
+				a.Close()
+			}
+		}
+	}()
+	for i := range spec.Nodes {
+		m, err := spec.newMachine(i)
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = m
+		a, err := netcluster.NewAgent(netcluster.AgentConfig{Name: fmt.Sprintf("n%d", i), M: m})
+		if err != nil {
+			return nil, err
+		}
+		if err := a.Start(); err != nil {
+			return nil, err
+		}
+		agents[i] = a
+	}
+
+	// Contiguous grouping: the first (n mod relays) groups take one extra
+	// node, so global node order is the concatenation of the groups.
+	base, extra := len(spec.Nodes)/nRelays, len(spec.Nodes)%nRelays
+	offsets := make([]int, nRelays)
+	fabrics := make([]*faultnet.Network, nRelays)
+	relays := make([]*netcluster.Relay, nRelays)
+	relaySpecs := make([]netcluster.NodeSpec, nRelays)
+	defer func() {
+		for _, r := range relays {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+	lo := 0
+	for j := 0; j < nRelays; j++ {
+		size := base
+		if j < extra {
+			size++
+		}
+		offsets[j] = lo
+		// Per-relay fabrics keep each group's fault streams independent
+		// of the other groups' dial order (offset by the group index per
+		// the shared seeding convention).
+		fabrics[j] = faultnet.New(spec.Seed + int64(1000*(j+1)))
+		if opt.Codec == wire.CodecName {
+			fabrics[j].SetTransport(wire.Dial)
+		}
+		var specs []netcluster.NodeSpec
+		for i := lo; i < lo+size; i++ {
+			specs = append(specs, netcluster.NodeSpec{Name: fmt.Sprintf("n%d", i), Addr: agents[i].Addr()})
+		}
+		lo += size
+		sub, err := netcluster.NewCoordinator(netcluster.Config{
+			Name:        fmt.Sprintf("relay%d", j),
+			Fvsst:       fcfg,
+			Budget:      source.BudgetAt(0),
+			MissK:       MissK,
+			RPCTimeout:  opt.RPCTimeout,
+			Retries:     1,
+			BackoffBase: time.Millisecond,
+			BackoffMax:  2 * time.Millisecond,
+			Seed:        spec.Seed + int64(1000*(j+1)),
+			Dialer:      fabrics[j],
+			Codec:       opt.Codec,
+		}, specs...)
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Connect(); err != nil {
+			return nil, err
+		}
+		relay, err := netcluster.NewRelay(netcluster.RelayConfig{Name: fmt.Sprintf("relay%d", j)}, sub)
+		if err != nil {
+			sub.Close()
+			return nil, err
+		}
+		if err := relay.Start(); err != nil {
+			sub.Close()
+			return nil, err
+		}
+		relays[j] = relay
+		relaySpecs[j] = netcluster.NodeSpec{Name: fmt.Sprintf("relay%d", j), Addr: relay.Addr()}
+	}
+
+	root, err := netcluster.NewRoot(netcluster.Config{
+		Name:        "root",
+		Fvsst:       fcfg,
+		Budget:      source.BudgetAt(0),
+		Source:      source,
+		MissK:       MissK,
+		RPCTimeout:  opt.RPCTimeout,
+		Retries:     1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+		Seed:        spec.Seed,
+		Codec:       opt.Codec,
+	}, relaySpecs...)
+	if err != nil {
+		return nil, err
+	}
+	if err := root.Connect(); err != nil {
+		return nil, err
+	}
+	defer root.Close()
+
+	relayOf := make([]int, len(spec.Nodes))
+	for j := range offsets {
+		hi := len(spec.Nodes)
+		if j+1 < nRelays {
+			hi = offsets[j+1]
+		}
+		for i := offsets[j]; i < hi; i++ {
+			relayOf[i] = j
+		}
+	}
+	for round := 0; round < spec.Rounds; round++ {
+		for i := range spec.Nodes {
+			name := fmt.Sprintf("n%d", i)
+			fab := fabrics[relayOf[i]]
+			if spec.partitioned(i, round) {
+				fab.Partition(name)
+			} else {
+				fab.Heal(name)
+			}
+			if err := fab.SetPolicy(name, policyAt(spec, i, round)); err != nil {
+				return nil, err
+			}
+		}
+		if err := root.RunRound(); err != nil {
+			return nil, err
+		}
+	}
+
+	rootDecs := root.RootDecisions()
+	relayDecs := make([][]netcluster.Decision, nRelays)
+	for j, r := range relays {
+		relayDecs[j] = r.Coordinator().Decisions()
+		if len(relayDecs[j]) != spec.Rounds {
+			return nil, fmt.Errorf("scenario: relay %d settled %d rounds of %d (root↔relay link faulted?)",
+				j, len(relayDecs[j]), spec.Rounds)
+		}
+	}
+
+	suite := invariant.NewSuite()
+	res := &RunResult{Rounds: spec.Rounds}
+	table := fcfg.Table
+	floor := table.FrequencyAtIndex(0)
+	for round, rd := range rootDecs {
+		if d := rd.PassDur.Seconds(); d > res.MaxPassLatencyS {
+			res.MaxPassLatencyS = d
+		}
+		rt := RoundTrace{
+			Round:   round,
+			At:      rd.At,
+			Trigger: rd.Trigger,
+			BudgetW: rd.Budget.W(),
+		}
+		// Reassemble the flat ledger from the relays' per-node accounts in
+		// global node order: the same values in the same accumulation
+		// order the flat coordinator uses, so fault-free traces match bit
+		// for bit.
+		var live, reserved, charged units.Power
+		allAtFloor := true
+		for j := range relays {
+			d := relayDecs[j][round]
+			for i, w := range d.NodeCharged {
+				charged += w
+				if !d.Acked[i] {
+					reserved += w
+				}
+			}
+			for _, a := range d.Assignments {
+				live += table.PowerAtIndex(table.IndexOf(a.Actual))
+				if a.Actual != floor {
+					allAtFloor = false
+				}
+				rt.Procs = append(rt.Procs, ProcTrace{
+					Node:       fmt.Sprintf("n%d", offsets[j]+a.Proc.Node),
+					CPU:        a.Proc.CPU,
+					Idle:       a.Idle,
+					DesiredMHz: a.Desired.MHz(),
+					ActualMHz:  a.Actual.MHz(),
+					VoltageV:   a.Voltage.V(),
+				})
+			}
+			rt.Degraded = append(rt.Degraded, d.Degraded...)
+		}
+		rt.LiveW = live.W()
+		rt.ReservedW = reserved.W()
+		rt.ChargedW = charged.W()
+		rt.Met = charged <= rd.Budget
+		res.Trace = append(res.Trace, rt)
+		suite.Report(invariant.CheckLedger(invariant.Ledger{
+			At:             rd.At,
+			Budget:         rd.Budget,
+			Live:           charged - reserved,
+			Reserved:       reserved,
+			Charged:        charged,
+			Met:            rt.Met,
+			AllLiveAtFloor: allAtFloor || policyActive(spec, round),
+		})...)
+	}
+	finishResult(res, suite)
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/netcluster/wire"
+)
+
+// TestCodecDifferentialFaultFree: JSON and binary payloads over the same
+// fault-free scenarios must render byte-identical traces — the binary
+// codec carries exact float bit patterns and changes nothing about the
+// decision arithmetic.
+func TestCodecDifferentialFaultFree(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		spec := Generate(seed).FaultFree()
+		d, err := RunCodecDifferential(spec, NetOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !d.Equivalent {
+			t.Fatalf("seed %d diverged: %+v", seed, d.Divergences[0])
+		}
+		if d.InProc.Text != d.Net.Text {
+			t.Fatalf("seed %d: equivalent but full texts differ", seed)
+		}
+		if len(d.Net.Violations) != 0 {
+			t.Fatalf("seed %d: invariant violations on binary run", seed)
+		}
+	}
+}
+
+// TestCodecDifferentialFaulty: under faults the codecs still see the same
+// fault draws (faultnet decides drops before encoding, keyed only on send
+// order), so even in-window the traces must never diverge outside the
+// declared windows.
+func TestCodecDifferentialFaulty(t *testing.T) {
+	tested := 0
+	for seed := int64(1); seed <= 30 && tested < 4; seed++ {
+		spec := Generate(seed)
+		if len(spec.Partitions) == 0 && len(spec.Policies) == 0 {
+			continue
+		}
+		tested++
+		d, err := RunCodecDifferential(spec, NetOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !d.Equivalent {
+			t.Errorf("seed %d: out-of-window divergence: %+v", seed, d.Divergences[0])
+		}
+	}
+	if tested < 4 {
+		t.Fatalf("only %d faulty seeds in 1..30", tested)
+	}
+}
+
+// TestTierDifferential: the flat JSON coordinator and the 2-level binary
+// relay tree must render byte-identical traces on fault-free seeds —
+// the hierarchical division is exact and the relay ledger reassembles in
+// global node order.
+func TestTierDifferential(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		d, err := RunTierDifferential(Generate(seed), NetOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !d.Equivalent {
+			t.Fatalf("seed %d diverged: %+v", seed, d.Divergences[0])
+		}
+		if d.InProc.Text != d.Net.Text {
+			t.Fatalf("seed %d: equivalent but full texts differ", seed)
+		}
+		if d.Net.MaxPassLatencyS <= 0 {
+			t.Fatalf("seed %d: relay run reported no pass latency", seed)
+		}
+		if len(d.Net.Violations) != 0 {
+			t.Fatalf("seed %d: invariant violations on relay run", seed)
+		}
+	}
+}
+
+// TestRelayNetFaultyBudgetSafety: the relay driver under leaf faults must
+// keep every round's ledger within budget (conservative charging at both
+// tiers) and produce no invariant violations.
+func TestRelayNetFaultyBudgetSafety(t *testing.T) {
+	tested := 0
+	for seed := int64(1); seed <= 30 && tested < 3; seed++ {
+		spec := Generate(seed).WithoutUPS().WithoutServing()
+		if len(spec.Partitions) == 0 || len(spec.Nodes) < 2 {
+			continue
+		}
+		tested++
+		res, err := RunRelayNet(spec, NetOptions{Codec: wire.CodecName})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: violations: %+v", seed, res.Violations[0])
+		}
+		for _, rt := range res.Trace {
+			if rt.ChargedW > rt.BudgetW {
+				t.Fatalf("seed %d round %d: charged %v over budget %v", seed, rt.Round, rt.ChargedW, rt.BudgetW)
+			}
+		}
+	}
+	if tested < 3 {
+		t.Fatalf("only %d partitioned multi-node seeds in 1..30", tested)
+	}
+}
