@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test vet race bench bench-paper experiments examples fuzz soak cover clean
+.PHONY: all check build test vet race bench bench-paper experiments examples fuzz soak optgap cover clean
 
 # Default: the full pre-merge gate — compile, static checks, and the test
 # suite under the race detector (the obs registry is exercised concurrently).
@@ -35,8 +35,10 @@ experiments:
 # dispatch allocates or the DES-vs-quantum speedup drops below its
 # floor), the cluster-transport codec round trip + relay-tree
 # pass-latency trendline in BENCH_netcluster.json (fails if the
-# steady-state binary poll cycle allocates), and per-experiment
-# wall-clock/allocation stats in BENCH_experiments.json.
+# steady-state binary poll cycle allocates), the exact optimal-assignment
+# solver vs the greedy hot path in BENCH_opt.json (fails if the DP blows
+# its per-op runtime budget), and per-experiment wall-clock/allocation
+# stats in BENCH_experiments.json.
 bench:
 	$(GO) test -bench 'SchedulePass|MachineStep|RunAll' -benchmem \
 		./internal/fvsst/ ./internal/machine/ ./internal/experiments/
@@ -46,6 +48,7 @@ bench:
 	$(GO) run ./cmd/experiments servebench
 	$(GO) run ./cmd/experiments desbench
 	$(GO) run ./cmd/experiments netbench
+	$(GO) run ./cmd/experiments optbench
 	$(GO) run ./cmd/experiments -scale 0.05 -parallel 4 \
 		-bench-out BENCH_experiments.json all > /dev/null
 	@echo "(written to BENCH_experiments.json)"
@@ -63,8 +66,11 @@ examples:
 
 # Short fuzz sessions over the parsers, the profile loader, the farm
 # budget-schedule parser, the arrival-spec parser, the JSON and binary
-# wire decoders, and the event-timeline op sequencer.
+# wire decoders, the event-timeline op sequencer, and the exact
+# optimal-assignment solver (feasibility, greedy domination,
+# permutation invariance).
 fuzz:
+	$(GO) test -fuzz FuzzOptimalAssign -fuzztime 30s ./internal/optimal/
 	$(GO) test -fuzz FuzzTimelineOps -fuzztime 30s ./internal/engine/
 	$(GO) test -fuzz FuzzParseFrequency -fuzztime 30s ./internal/units/
 	$(GO) test -fuzz FuzzParsePower -fuzztime 30s ./internal/units/
@@ -81,13 +87,20 @@ fuzz:
 soak:
 	$(GO) run ./cmd/experiments soak -seeds 200 -diff 25 -farm 50 -des 50 -parallel 4
 
-# Statement coverage for the invariant + scenario subsystems (the ISSUE 5
-# floor is 90% for both); coverage.out covers the whole repo for browsing
-# with `go tool cover -html=coverage.out`.
+# Greedy-vs-exact-optimal gap measurement across a scenario corpus; the
+# -max-gap gate mirrors invariant.DefaultGap's calibration (worst
+# observed per-pass gap 0.146 over 600 seeds).
+optgap:
+	$(GO) run ./cmd/experiments optgap -seeds 300 -parallel 4 -max-gap 0.2
+
+# Statement coverage for the invariant + scenario + optimal subsystems
+# (the ISSUE 5 floor is 90% for the first two, ISSUE 10 adds the same
+# floor for internal/optimal); coverage.out covers the whole repo for
+# browsing with `go tool cover -html=coverage.out`.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -1
-	@$(GO) test -cover ./internal/invariant/ ./internal/scenario/
+	@$(GO) test -cover ./internal/invariant/ ./internal/scenario/ ./internal/optimal/
 
 clean:
 	$(GO) clean ./...

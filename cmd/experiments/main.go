@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | netbench | soak | report | <id>...]
+//	experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | netbench | optbench | soak | optgap | policy-search | report | <id>...]
 //
 // The experiment ids, their descriptions and the usage text all come from
 // the registry in internal/experiments (run `experiments list` to see
@@ -22,7 +22,11 @@
 // admission must also stay at 0 allocs/op); `desbench` races the
 // discrete-event engine against the quantum reference on an idle-heavy
 // fleet (steady-state timeline dispatch must stay at 0 allocs/op and the
-// speedup must clear its floor).
+// speedup must clear its floor); `optbench` pins the exact
+// optimal-assignment solver's runtime against the greedy hot path.
+// `optgap` measures the paper's greedy Step 2 against the exact optimal
+// comparator across a scenario corpus; `policy-search` runs the
+// deterministic coordinate descent over the scheduling knobs.
 // `report` renders the energy & compliance ledger from a JSONL trace.
 package main
 
@@ -41,7 +45,7 @@ import (
 
 func usage() {
 	w := flag.CommandLine.Output()
-	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | netbench | soak | report | <id>...]\n\nExperiments:\n")
+	fmt.Fprintf(w, "Usage: experiments [flags] [list | all | hotpath | farmbench | obsbench | servebench | desbench | netbench | optbench | soak | optgap | policy-search | report | <id>...]\n\nExperiments:\n")
 	for _, s := range experiments.Registry() {
 		fmt.Fprintf(w, "  %-12s %s\n", s.ID, s.Desc)
 	}
@@ -117,9 +121,27 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "optbench":
+		if err := runOptbench(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "optbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "soak":
 		if err := runSoak(args[1:]); err != nil {
 			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "optgap":
+		if err := runOptGap(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "optgap: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "policy-search":
+		if err := runPolicySearch(args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "policy-search: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+// runPolicySearch runs the deterministic coordinate descent over the
+// scheduling knobs (ε, debounce, allocator) and prints the baseline
+// versus the best setting found.
+func runPolicySearch(args []string) error {
+	fs := flag.NewFlagSet("policy-search", flag.ExitOnError)
+	seeds := fs.Int("seeds", 5, "scenario seeds in the evaluation corpus")
+	baseSeed := fs.Int64("seed", 1, "first seed of the corpus")
+	sweeps := fs.Int("sweeps", 3, "maximum coordinate-descent sweeps")
+	wLoss := fs.Float64("w-loss", 1, "fitness weight on summed predicted loss")
+	wEnergy := fs.Float64("w-energy", 0.5, "fitness weight per kilojoule")
+	wSLO := fs.Float64("w-slo", 2, "fitness weight on the SLO miss fraction")
+	jsonOut := fs.String("json", "", "write the full report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := experiments.PolicySearch(experiments.PolicySearchConfig{
+		Seeds:     *seeds,
+		BaseSeed:  *baseSeed,
+		MaxSweeps: *sweeps,
+		Weights:   experiments.FitnessWeights{Loss: *wLoss, EnergyKJ: *wEnergy, SLOMiss: *wSLO},
+	})
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	rep.WriteText(os.Stdout)
+	return nil
+}

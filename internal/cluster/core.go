@@ -349,6 +349,19 @@ func PassEvent(at float64, trigger string, budget units.Power, inputs []ProcInpu
 			ct.PredictedLoss = a.PredictedLoss
 			ct.PredictedIPC = res.predIPC[i]
 		}
+		if o := inputs[i].Obs; o != nil {
+			d := o.Delta
+			ct.Obs = &obs.ObsTrace{
+				WindowS:      d.Window,
+				Instructions: d.Instructions,
+				Cycles:       d.Cycles,
+				HaltedCycles: d.HaltedCycles,
+				L2Refs:       d.L2Refs,
+				L3Refs:       d.L3Refs,
+				MemRefs:      d.MemRefs,
+				FreqHz:       o.Freq.Hz(),
+			}
+		}
 		ev.CPUs[i] = ct
 	}
 	for _, dm := range res.Demotions {

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestOptGapCampaign: the exact comparator runs across a seed corpus —
+// greedy never beats the optimum, the rendering is byte-stable across
+// worker counts, and the text gate numbers match the struct.
+func TestOptGapCampaign(t *testing.T) {
+	cfg := OptGapConfig{Seeds: 6}
+	a := OptGap(cfg)
+	if a.Errors != 0 || a.Violations != 0 {
+		t.Fatalf("campaign not clean: %d errors %d violations", a.Errors, a.Violations)
+	}
+	if a.Total.Passes == 0 {
+		t.Fatal("no passes measured across 6 seeds")
+	}
+	if a.Total.GreedyLoss < a.Total.OptimalLoss-1e-12 {
+		t.Fatalf("greedy %v beats optimal %v", a.Total.GreedyLoss, a.Total.OptimalLoss)
+	}
+	cfg.Parallel = 4
+	b := OptGap(cfg)
+	if !reflect.DeepEqual(a.Seeds, b.Seeds) || !reflect.DeepEqual(a.Total, b.Total) {
+		t.Fatal("report differs across worker counts")
+	}
+
+	var s1, s2 strings.Builder
+	a.WriteText(&s1)
+	b.WriteText(&s2)
+	if s1.String() != s2.String() {
+		t.Fatalf("renderings differ:\n%s\n---\n%s", s1.String(), s2.String())
+	}
+	if !strings.Contains(s1.String(), "worst gap") {
+		t.Fatalf("rendering lacks the summary:\n%s", s1.String())
+	}
+}
+
+// TestPolicySearchNeverWorse: the descent starts from the defaults, so
+// the best knobs are at least as fit — and the whole search is
+// deterministic.
+func TestPolicySearchNeverWorse(t *testing.T) {
+	cfg := PolicySearchConfig{Seeds: 2, MaxSweeps: 1}
+	a, err := PolicySearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Fitness > a.Baseline.Fitness {
+		t.Fatalf("search regressed: best %v vs baseline %v", a.Best.Fitness, a.Baseline.Fitness)
+	}
+	if a.Best.Violations != 0 {
+		t.Fatalf("winning knobs violate invariants: %+v", a.Best)
+	}
+	if a.Evals < 2 {
+		t.Fatalf("descent evaluated only %d settings", a.Evals)
+	}
+	b, err := PolicySearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("search nondeterministic:\n%+v\n%+v", a.Best, b.Best)
+	}
+	var s strings.Builder
+	a.WriteText(&s)
+	if !strings.Contains(s.String(), "baseline") || !strings.Contains(s.String(), "best") {
+		t.Fatalf("rendering incomplete:\n%s", s.String())
+	}
+}
+
+func TestPolicySearchRejectsEmpty(t *testing.T) {
+	if _, err := PolicySearch(PolicySearchConfig{}); err == nil {
+		t.Fatal("zero-seed search accepted")
+	}
+}
+
+// TestFitnessWeightDefaults: zero weights resolve to the documented
+// defaults inside the search config.
+func TestFitnessWeightDefaults(t *testing.T) {
+	w := DefaultFitnessWeights()
+	if w.Loss != 1 || w.EnergyKJ != 0.5 || w.SLOMiss != 2 {
+		t.Fatalf("defaults drifted: %+v", w)
+	}
+	if !(FitnessWeights{}).zero() || w.zero() {
+		t.Fatal("zero detection broken")
+	}
+	_ = scenario.PolicyKnobs{} // the search and the driver share the knob type
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/fvsst"
+	"repro/internal/obs"
+	"repro/internal/perfmodel"
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// ReplayedPass is one re-decided scheduling pass: the counterfactual
+// Steps 1–3 outcome computed from the recorded observation windows. The
+// MHz/V conventions match obs.CPUTrace so an unperturbed replay can be
+// compared field-for-field against the recorded decision.
+type ReplayedPass struct {
+	At          float64   `json:"t"`
+	DesiredMHz  []float64 `json:"desired_mhz"`
+	ActualMHz   []float64 `json:"actual_mhz"`
+	VoltageV    []float64 `json:"voltage_v"`
+	BudgetMet   bool      `json:"budget_met"`
+	Loss        float64   `json:"loss"`
+	TablePowerW float64   `json:"table_power_w"`
+}
+
+// ReplayResult aggregates a replayed trace. EnergyProxyJ integrates
+// table power over the schedule period — the open-loop analogue of the
+// driver's energy ledger (replay cannot re-run the machines, so the
+// table is the best available proxy).
+type ReplayResult struct {
+	Passes       []ReplayedPass `json:"passes"`
+	Skipped      int            `json:"skipped,omitempty"`
+	TotalLoss    float64        `json:"total_loss"`
+	EnergyProxyJ float64        `json:"energy_proxy_j"`
+}
+
+// ReplayDecisions re-runs Steps 1–3 over the recorded passes of a
+// decision trace (obs.ReadDecisions) under perturbed policy knobs —
+// the open-loop arm of the counterfactual harness. With zero knobs the
+// replay reproduces the recorded desired/actual/voltage decisions to
+// the byte: Step 1 re-decomposes the recorded counter windows, the
+// budget is recovered exactly as BudgetW − ReservedW, and the greedy
+// allocator is the same code path the schedulers run. Passes without
+// recorded observations (obs.Replayable false) are counted in Skipped.
+func ReplayDecisions(events []obs.Event, cfg fvsst.Config, knobs scenario.PolicyKnobs) (*ReplayResult, error) {
+	pred, err := perfmodel.New(cfg.Hier)
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.Epsilon
+	if knobs.Epsilon > 0 {
+		eps = knobs.Epsilon
+	}
+	type procKey struct {
+		node string
+		cpu  int
+	}
+	held := map[procKey]int{}
+	last := map[procKey]int{}
+	run := map[procKey]int{}
+	var grid perfmodel.PredGrid
+	set := cfg.Table.Frequencies()
+	period := cfg.SamplePeriod * float64(cfg.SchedulePeriods)
+	res := &ReplayResult{}
+	for _, ev := range events {
+		if ev.Type != obs.EventSchedule {
+			continue
+		}
+		if !obs.Replayable(ev) {
+			res.Skipped++
+			continue
+		}
+		n := len(ev.CPUs)
+		grid.Reset(n, set)
+		nf := grid.NumFreqs()
+		desired := make([]int, n)
+		for i, ct := range ev.CPUs {
+			switch {
+			case cfg.UseIdleSignal && ct.Idle:
+				desired[i] = 0
+			case ct.Obs == nil:
+				desired[i] = nf - 1
+			default:
+				o := ct.Obs
+				dec, err := pred.Decompose(perfmodel.Observation{
+					Delta: counters.Delta{
+						Window:       o.WindowS,
+						Instructions: o.Instructions,
+						Cycles:       o.Cycles,
+						HaltedCycles: o.HaltedCycles,
+						L2Refs:       o.L2Refs,
+						L3Refs:       o.L3Refs,
+						MemRefs:      o.MemRefs,
+					},
+					Freq: units.Frequency(o.FreqHz),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("experiments: replay t=%v cpu %d: %w", ev.At, ct.CPU, err)
+				}
+				grid.Fill(i, dec)
+				desired[i] = fvsst.EpsilonIndexGrid(&grid, i, eps)
+			}
+		}
+		if k := knobs.DebouncePasses; k >= 2 {
+			for i, ct := range ev.CPUs {
+				ref := procKey{ct.Node, ct.CPU}
+				cand := desired[i]
+				h, seen := held[ref]
+				switch {
+				case !seen:
+					h = cand
+				case cand == h:
+					run[ref] = 0
+				default:
+					if cand == last[ref] {
+						run[ref]++
+					} else {
+						run[ref] = 1
+					}
+					if run[ref] >= k {
+						h = cand
+						run[ref] = 0
+					}
+				}
+				last[ref] = cand
+				held[ref] = h
+				desired[i] = h
+			}
+		}
+		budget := units.Watts(ev.BudgetW - ev.ReservedW)
+		idx, met, err := scenario.Allocate(knobs.Allocator, &grid, desired, cfg.Table, budget)
+		if err != nil {
+			return nil, err
+		}
+		rp := ReplayedPass{
+			At:         ev.At,
+			BudgetMet:  met,
+			DesiredMHz: make([]float64, n),
+			ActualMHz:  make([]float64, n),
+			VoltageV:   make([]float64, n),
+		}
+		var tablePower units.Power
+		for i, k := range idx {
+			rp.DesiredMHz[i] = cfg.Table.FrequencyAtIndex(desired[i]).MHz()
+			rp.ActualMHz[i] = cfg.Table.FrequencyAtIndex(k).MHz()
+			rp.VoltageV[i] = cfg.Table.VoltageAtIndex(k).V()
+			if grid.Valid(i) {
+				rp.Loss += grid.Loss(i, k)
+			}
+			tablePower += cfg.Table.PowerAtIndex(k)
+		}
+		rp.TablePowerW = tablePower.W()
+		res.TotalLoss += rp.Loss
+		res.EnergyProxyJ += rp.TablePowerW * period
+		res.Passes = append(res.Passes, rp)
+	}
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// recordDecisions runs a generated scenario with a JSONL sink and reads
+// its scheduling passes back through the decision reader — the recorded
+// side of the replay differential.
+func recordDecisions(t *testing.T, seed int64) (scenario.Spec, []obs.Event) {
+	t.Helper()
+	spec := scenario.Generate(seed).FaultFree()
+	var buf bytes.Buffer
+	sink := obs.NewJSONLWriter(&buf)
+	if _, err := scenario.RunCluster(spec, scenario.Options{Sink: sink}); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	passes, err := obs.ReadDecisions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) == 0 {
+		t.Fatalf("seed %d recorded no passes", seed)
+	}
+	return spec, passes
+}
+
+// TestReplayFidelity is the golden contract of the harness: an
+// unperturbed replay must reproduce every recorded decision to the byte
+// — same desired, actual and voltage on every CPU of every pass. Only
+// then do perturbed replays mean anything.
+func TestReplayFidelity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		spec, passes := recordDecisions(t, seed)
+		cfg, err := spec.SchedulerConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ReplayDecisions(passes, cfg, scenario.PolicyKnobs{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Skipped != 0 {
+			t.Fatalf("seed %d: %d passes not replayable", seed, res.Skipped)
+		}
+		if len(res.Passes) != len(passes) {
+			t.Fatalf("seed %d: replayed %d of %d passes", seed, len(res.Passes), len(passes))
+		}
+		for pi, rp := range res.Passes {
+			rec := passes[pi]
+			if rp.At != rec.At {
+				t.Fatalf("seed %d pass %d: time %v vs recorded %v", seed, pi, rp.At, rec.At)
+			}
+			if rp.BudgetMet == rec.BudgetMissed {
+				t.Fatalf("seed %d pass %d: budget-met %v vs recorded missed %v", seed, pi, rp.BudgetMet, rec.BudgetMissed)
+			}
+			for ci, ct := range rec.CPUs {
+				if rp.DesiredMHz[ci] != ct.DesiredMHz || rp.ActualMHz[ci] != ct.ActualMHz || rp.VoltageV[ci] != ct.VoltageV {
+					t.Fatalf("seed %d pass %d cpu %d: replay (%v, %v, %v) vs recorded (%v, %v, %v)",
+						seed, pi, ci,
+						rp.DesiredMHz[ci], rp.ActualMHz[ci], rp.VoltageV[ci],
+						ct.DesiredMHz, ct.ActualMHz, ct.VoltageV)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayEpsilonSabotage perturbs only ε and demands the fitness
+// ingredients move: a counterfactual harness that returns the same
+// numbers under different knobs is measuring nothing.
+func TestReplayEpsilonSabotage(t *testing.T) {
+	changed := false
+	for seed := int64(1); seed <= 10 && !changed; seed++ {
+		spec, passes := recordDecisions(t, seed)
+		cfg, err := spec.SchedulerConfig()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := ReplayDecisions(passes, cfg, scenario.PolicyKnobs{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot, err := ReplayDecisions(passes, cfg, scenario.PolicyKnobs{Epsilon: 0.45})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hot.TotalLoss != base.TotalLoss || hot.EnergyProxyJ != base.EnergyProxyJ {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("ε=0.45 left loss and energy untouched across 10 seeds")
+	}
+}
+
+// TestReplayKnobs: the debounce and allocator knobs run, stay within
+// table bounds, and the optimal allocator never predicts more loss than
+// the recorded greedy replay.
+func TestReplayKnobs(t *testing.T) {
+	spec, passes := recordDecisions(t, 3)
+	cfg, err := spec.SchedulerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReplayDecisions(passes, cfg, scenario.PolicyKnobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := ReplayDecisions(passes, cfg, scenario.PolicyKnobs{Allocator: scenario.AllocOptimal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.TotalLoss > base.TotalLoss+1e-12 {
+		t.Fatalf("optimal allocator lost more than greedy: %v vs %v", opt.TotalLoss, base.TotalLoss)
+	}
+	deb, err := ReplayDecisions(passes, cfg, scenario.PolicyKnobs{DebouncePasses: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deb.Passes) != len(base.Passes) {
+		t.Fatalf("debounce dropped passes: %d vs %d", len(deb.Passes), len(base.Passes))
+	}
+	deb2, err := ReplayDecisions(passes, cfg, scenario.PolicyKnobs{DebouncePasses: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range deb.Passes {
+		for c := range deb.Passes[i].ActualMHz {
+			if deb.Passes[i].ActualMHz[c] != deb2.Passes[i].ActualMHz[c] {
+				t.Fatalf("debounced replay nondeterministic at pass %d cpu %d", i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import "io"
+
+// ReadDecisions parses a JSONL trace stream and returns its scheduling
+// passes (EventSchedule) in recorded order, dropping every other event
+// kind. It is the reader side of the counterfactual replay harness: a
+// pass whose CPU traces carry their raw observations (see CPUTrace.Obs)
+// can be re-decided from scratch under different policy knobs.
+func ReadDecisions(r io.Reader) ([]Event, error) {
+	var passes []Event
+	keep := filterSink{&passes}
+	if _, err := ReplayJSONL(r, keep); err != nil {
+		return nil, err
+	}
+	return passes, nil
+}
+
+type filterSink struct{ passes *[]Event }
+
+func (s filterSink) Emit(e Event) {
+	if e.Type == EventSchedule {
+		*s.passes = append(*s.passes, e)
+	}
+}
+
+// Replayable reports whether a scheduling pass carries enough recorded
+// input to re-run Steps 1–3 exactly: every non-idle CPU either has its
+// raw observation window or was recorded as unobserved (no prediction
+// fields). Passes from traces written before observation recording
+// return false and replay harnesses must skip them.
+func Replayable(e Event) bool {
+	if e.Type != EventSchedule {
+		return false
+	}
+	for _, ct := range e.CPUs {
+		if !ct.Idle && ct.Obs == nil && (ct.PredictedIPC != 0 || ct.PredictedLoss != 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadDecisions(t *testing.T) {
+	trace := strings.Join([]string{
+		`{"type":"span","t":0.1,"name":"pass"}`,
+		`{"type":"schedule","t":0.2,"trigger":"timer","budget_w":200,"cpus":[` +
+			`{"cpu":0,"desired_mhz":1000,"actual_mhz":750,"voltage_v":1.4,"predicted_ipc":1.2,` +
+			`"obs":{"window_s":0.02,"instr":100,"cycles":200,"freq_hz":1e9}},` +
+			`{"cpu":1,"idle":true,"desired_mhz":250,"actual_mhz":250,"voltage_v":1.2}]}`,
+		`{"type":"quantum","t":0.3}`,
+		`{"type":"schedule","t":0.4,"trigger":"timer","budget_w":200,"cpus":[` +
+			`{"cpu":0,"desired_mhz":1000,"actual_mhz":1000,"voltage_v":1.5,"predicted_ipc":1.1}]}`,
+	}, "\n") + "\n"
+
+	passes, err := ReadDecisions(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 2 {
+		t.Fatalf("got %d passes, want 2", len(passes))
+	}
+	if passes[0].At != 0.2 || passes[1].At != 0.4 {
+		t.Fatalf("pass order wrong: %g, %g", passes[0].At, passes[1].At)
+	}
+	o := passes[0].CPUs[0].Obs
+	if o == nil || o.Instructions != 100 || o.FreqHz != 1e9 || o.WindowS != 0.02 {
+		t.Fatalf("observation not round-tripped: %+v", o)
+	}
+	if passes[0].CPUs[1].Obs != nil {
+		t.Fatal("idle CPU grew an observation")
+	}
+
+	// First pass: busy CPU has its observation, idle CPU needs none.
+	if !Replayable(passes[0]) {
+		t.Fatal("fully recorded pass not replayable")
+	}
+	// Second pass: a predicted CPU without its observation window.
+	if Replayable(passes[1]) {
+		t.Fatal("pass missing observations reported replayable")
+	}
+	if Replayable(Event{Type: EventQuantum}) {
+		t.Fatal("non-schedule event reported replayable")
+	}
+
+	if _, err := ReadDecisions(strings.NewReader("{broken\n")); err == nil {
+		t.Fatal("broken line not rejected")
+	}
+}

@@ -203,6 +203,26 @@ type CPUTrace struct {
 	// valid only when IPCErrorValid — the online version of Table 2.
 	IPCError      float64 `json:"ipc_error,omitempty"`
 	IPCErrorValid bool    `json:"ipc_error_valid,omitempty"`
+	// Obs is the raw counter window Step 1 consumed for this decision,
+	// recorded so the trace is replayable: a counterfactual harness can
+	// re-run Steps 1–3 from identical inputs under perturbed knobs (see
+	// docs/optimality.md). Nil for idle or unobserved CPUs.
+	Obs *ObsTrace `json:"obs,omitempty"`
+}
+
+// ObsTrace is one CPU's raw observation window: the counter deltas and
+// the exact frequency the window ran at. FreqHz is in hertz rather than
+// the MHz convention of the decision fields so the JSON round trip is
+// bit-exact — replay must reproduce the recorded decisions to the byte.
+type ObsTrace struct {
+	WindowS      float64 `json:"window_s"`
+	Instructions uint64  `json:"instr"`
+	Cycles       uint64  `json:"cycles"`
+	HaltedCycles uint64  `json:"halted,omitempty"`
+	L2Refs       uint64  `json:"l2,omitempty"`
+	L3Refs       uint64  `json:"l3,omitempty"`
+	MemRefs      uint64  `json:"mem,omitempty"`
+	FreqHz       float64 `json:"freq_hz"`
 }
 
 // DemotionTrace is one Step-2 reduction: the budget fit lowered a

@@ -1,0 +1,100 @@
+package optimal
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// solveBB is the branch-and-bound fallback for instances whose Pareto
+// frontier outgrows the DP cap (small N keeps the tree tractable). It
+// searches CPUs in order, trying high indices first so the incumbent
+// improves quickly, with two float-exact prunes:
+//
+//   - feasibility: extend the prefix power with the floor power of every
+//     remaining CPU, in CPU order; if even that exceeds the budget, every
+//     real extension does too (powers are positive and float addition is
+//     monotone);
+//   - bound: extend the prefix loss with each remaining CPU's minimum
+//     loss over its allowed indices, in CPU order; every real extension's
+//     loss is ≥ that sum, so a bound ≥ the incumbent cannot strictly
+//     improve it.
+//
+// Both prunes compare values computed by the same left-to-right float
+// sums a full evaluation would produce, so the search remains exact to
+// the bit against exhaustive enumeration.
+func solveBB(p *Problem, lim Limits) (Assignment, error) {
+	n := len(p.Upper)
+	// minLoss[i] = min over k ≤ Upper[i] of Loss(i,k); loss is typically
+	// non-increasing in the index but the solver does not assume it.
+	minLoss := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := math.Inf(1)
+		for k := 0; k <= p.Upper[i]; k++ {
+			if l := p.Loss(i, k); l < m {
+				m = l
+			}
+		}
+		minLoss[i] = m
+	}
+	floorP := p.Table.PowerAtIndex(0)
+	bestLoss := math.Inf(1)
+	var bestPow units.Power
+	bestIdx := make([]int, n)
+	idx := make([]int, n)
+	nodes := 0
+	var over bool
+
+	var walk func(i int, pow units.Power, loss float64)
+	walk = func(i int, pow units.Power, loss float64) {
+		if over {
+			return
+		}
+		nodes++
+		if nodes > lim.MaxNodes {
+			over = true
+			return
+		}
+		if i == n {
+			if pow <= p.Budget && loss < bestLoss {
+				bestLoss, bestPow = loss, pow
+				copy(bestIdx, idx)
+			}
+			return
+		}
+		remPow := pow
+		for j := i; j < n; j++ {
+			remPow += floorP
+		}
+		if remPow > p.Budget {
+			return
+		}
+		remLoss := loss
+		for j := i; j < n; j++ {
+			remLoss += minLoss[j]
+		}
+		if remLoss >= bestLoss {
+			return
+		}
+		for k := p.Upper[i]; k >= 0; k-- {
+			idx[i] = k
+			walk(i+1, pow+p.Table.PowerAtIndex(k), loss+p.Loss(i, k))
+		}
+	}
+	walk(0, 0, 0)
+	if over {
+		return Assignment{}, ErrTooLarge
+	}
+	if math.IsInf(bestLoss, 1) {
+		// Unreachable: SolveLimits verified the all-floor assignment fits.
+		return Assignment{}, ErrTooLarge
+	}
+	return Assignment{
+		Idx:      bestIdx,
+		Loss:     bestLoss,
+		Power:    bestPow,
+		Feasible: true,
+		Method:   "bb",
+		States:   nodes,
+	}, nil
+}

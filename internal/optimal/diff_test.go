@@ -1,0 +1,16 @@
+package optimal_test
+
+import (
+	"repro/internal/invariant"
+	"repro/internal/optimal"
+)
+
+// invariantBruteForce runs the independent exhaustive enumerator from
+// internal/invariant over the same instance. The import lives in this
+// file (invariant imports optimal, but an external test package closes
+// the loop without a cycle) so the solvers are pinned against code they
+// share nothing with beyond the accumulation-order convention.
+func invariantBruteForce(p optimal.Problem, losses [][]float64) (float64, bool) {
+	loss := func(cpu, fi int) float64 { return losses[cpu][fi] }
+	return invariant.BruteForceOptimal(loss, p.Upper, p.Table, p.Budget)
+}

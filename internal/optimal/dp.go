@@ -1,0 +1,116 @@
+package optimal
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// errFrontier is the internal signal that the Pareto frontier outgrew its
+// cap and the caller should fall back to branch-and-bound.
+var errFrontier = errors.New("optimal: dp frontier exceeded cap")
+
+// state is one Pareto-optimal prefix: the exact CPU-order power and loss
+// sums of a concrete partial assignment, plus enough to backtrack it.
+type state struct {
+	power  units.Power
+	loss   float64
+	prev   int32 // index into the previous stage's frontier
+	choice int32 // table index chosen for this stage's CPU
+}
+
+// solveDP runs the Pareto-frontier dynamic program. Stage i extends every
+// surviving prefix over CPUs 0..i-1 with each choice k ≤ Upper[i],
+// accumulating power and loss in CPU order so each state's sums are the
+// literal left-to-right float sums of a real assignment prefix — the same
+// sums the brute-force enumerator computes. Dominance pruning (drop a
+// prefix when another has ≤ power and ≤ loss) is exact because IEEE float
+// addition is monotone: the dominating prefix stays ≤ under any shared
+// suffix, for both the feasibility test and the final loss. Prefixes over
+// budget are dropped because table powers are strictly positive, so no
+// suffix can bring them back under. The minimum loss on the final
+// frontier is therefore bit-identical to exhaustive enumeration.
+func solveDP(p *Problem, lim Limits) (Assignment, error) {
+	n := len(p.Upper)
+	stages := make([][]state, n+1)
+	stages[0] = []state{{prev: -1, choice: -1}}
+	kept := 1
+	cand := []state(nil)
+	for i := 0; i < n; i++ {
+		prevFrontier := stages[i]
+		cand = cand[:0]
+		for pi, ps := range prevFrontier {
+			for k := 0; k <= p.Upper[i]; k++ {
+				pow := ps.power + p.Table.PowerAtIndex(k)
+				if pow > p.Budget {
+					continue
+				}
+				cand = append(cand, state{
+					power:  pow,
+					loss:   ps.loss + p.Loss(i, k),
+					prev:   int32(pi),
+					choice: int32(k),
+				})
+			}
+		}
+		// Deterministic total order: power, then loss, then the canonical
+		// (prev, choice) pair, so ties always keep the same witness.
+		sort.Slice(cand, func(a, b int) bool {
+			ca, cb := cand[a], cand[b]
+			if ca.power != cb.power {
+				return ca.power < cb.power
+			}
+			if ca.loss != cb.loss {
+				return ca.loss < cb.loss
+			}
+			if ca.prev != cb.prev {
+				return ca.prev < cb.prev
+			}
+			return ca.choice < cb.choice
+		})
+		frontier := cand[:0:0]
+		bestLoss := 0.0
+		for ci, c := range cand {
+			if ci == 0 || c.loss < bestLoss {
+				frontier = append(frontier, c)
+				bestLoss = c.loss
+			}
+		}
+		if len(frontier) > lim.MaxFrontier {
+			return Assignment{}, errFrontier
+		}
+		stages[i+1] = frontier
+		kept += len(frontier)
+	}
+	final := stages[n]
+	if len(final) == 0 {
+		// SolveLimits already handled the infeasible case; an empty final
+		// frontier can only mean the floor fits but every extension was
+		// dropped, which cannot happen (the all-floor path survives).
+		return Assignment{}, errors.New("optimal: dp lost the floor assignment")
+	}
+	// Loss is strictly decreasing along the frontier, so the minimum sits
+	// at the end; scan anyway so the invariant is not load-bearing.
+	best := 0
+	for si := range final {
+		if final[si].loss < final[best].loss {
+			best = si
+		}
+	}
+	idx := make([]int, n)
+	si := int32(best)
+	for i := n - 1; i >= 0; i-- {
+		s := stages[i+1][si]
+		idx[i] = int(s.choice)
+		si = s.prev
+	}
+	return Assignment{
+		Idx:      idx,
+		Loss:     final[best].loss,
+		Power:    final[best].power,
+		Feasible: true,
+		Method:   "dp",
+		States:   kept,
+	}, nil
+}

@@ -45,6 +45,16 @@ type Options struct {
 	// seed ships its own post-mortem. Events never influence the
 	// deterministic Text/Hash.
 	Sink obs.Sink
+	// Policy re-runs the scenario under perturbed scheduling knobs — the
+	// counterfactual arm of `experiments policy-search`. An ε-only
+	// override keeps the full checker suite; debounce or allocator knobs
+	// rewrite passes post-Schedule, so (unless Checkers overrides) the
+	// policy-independent reduced suite runs instead. Incompatible with
+	// Sabotage.
+	Policy *PolicyKnobs
+	// MeasureGap solves every feasible pass exactly (internal/optimal)
+	// and aggregates actual-vs-optimal loss into RunResult.Gap.
+	MeasureGap bool
 }
 
 func (o Options) suite() *invariant.Suite {
@@ -125,6 +135,20 @@ type RunResult struct {
 	// MaxPassLatencyS is the slowest root pass in seconds (relay driver
 	// only); excluded from Text so it never perturbs trace hashes.
 	MaxPassLatencyS float64 `json:"max_pass_latency_s,omitempty"`
+	// Fitness ingredients for the policy search (cluster engine only),
+	// derived from values the round loop already holds, in round order,
+	// so they are as deterministic as the trace itself. PredLoss sums
+	// each pass's predicted performance loss at the actual assignment;
+	// EnergyJ integrates the charged table power over round periods (a
+	// table-energy proxy, not metered machine energy); SLOOk/SLOResolved
+	// total the serving scoreboards (zero without a serving overlay).
+	// None of these enter Text/Hash.
+	PredLoss    float64 `json:"pred_loss,omitempty"`
+	EnergyJ     float64 `json:"energy_j,omitempty"`
+	SLOOk       uint64  `json:"slo_ok,omitempty"`
+	SLOResolved uint64  `json:"slo_resolved,omitempty"`
+	// Gap aggregates exact-comparator measurements when MeasureGap is on.
+	Gap *OptGapStats `json:"gap,omitempty"`
 }
 
 func finishResult(res *RunResult, suite *invariant.Suite) {
@@ -173,9 +197,26 @@ func runClusterEngine(spec Spec, opt Options, des bool) (*RunResult, error) {
 	if opt.Sabotage != "" && opt.Sabotage != SabotageStepTwoInvert {
 		return nil, fmt.Errorf("scenario: unknown sabotage %q", opt.Sabotage)
 	}
+	if err := opt.Policy.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Policy != nil && opt.Sabotage != "" {
+		return nil, fmt.Errorf("scenario: policy knobs and sabotage are mutually exclusive")
+	}
 	fcfg, err := spec.fvsstConfig()
 	if err != nil {
 		return nil, err
+	}
+	if opt.Policy != nil && opt.Policy.Epsilon > 0 {
+		// The ε knob flows through the scheduler config, so Step 1 runs it
+		// natively and the full checker suite stays consistent with it.
+		fcfg.Epsilon = opt.Policy.Epsilon
+	}
+	var policy *policyState
+	if opt.Policy.rewrites() {
+		if policy, err = newPolicyState(*opt.Policy, fcfg); err != nil {
+			return nil, err
+		}
 	}
 	core, err := cluster.NewCore(fcfg)
 	if err != nil {
@@ -214,7 +255,13 @@ func runClusterEngine(spec Spec, opt Options, des bool) (*RunResult, error) {
 	clock := engine.NewSimClock(period)
 	budget := source.BudgetAt(0)
 	suite := opt.suite()
+	if policy != nil && opt.Checkers == nil {
+		suite = policyCheckers()
+	}
 	res := &RunResult{Rounds: spec.Rounds}
+	if opt.MeasureGap {
+		res.Gap = &OptGapStats{}
+	}
 
 	for round := 0; round < spec.Rounds; round++ {
 		now := clock.Now()
@@ -277,6 +324,11 @@ func runClusterEngine(spec Spec, opt Options, des bool) (*RunResult, error) {
 				return nil, err
 			}
 		}
+		if policy != nil {
+			if err := policy.rewrite(inputs, &pass, liveBudget); err != nil {
+				return nil, err
+			}
+		}
 
 		// Phase 3: actuate the live nodes.
 		for i, n := range nodes {
@@ -325,11 +377,21 @@ func runClusterEngine(spec Spec, opt Options, des bool) (*RunResult, error) {
 			}
 		}
 
-		// Invariants: the pass itself, then the round ledger.
-		if p, err := passSnapshot(fcfg, now, liveBudget, inputs, pass); err != nil {
+		// Invariants: the pass itself, then the round ledger. The snapshot
+		// also feeds the fitness sums and the exact-gap measurement.
+		p, err := passSnapshot(fcfg, now, liveBudget, inputs, pass)
+		if err != nil {
 			return nil, err
-		} else {
-			suite.Check(p)
+		}
+		suite.Check(p)
+		g := p.Grid()
+		for k := range p.Procs {
+			if g.Valid(k) {
+				res.PredLoss += g.Loss(k, p.Procs[k].ActualIdx)
+			}
+		}
+		if res.Gap != nil {
+			res.Gap.measure(p)
 		}
 		suite.Report(invariant.CheckLedger(invariant.Ledger{
 			At:             now,
@@ -399,12 +461,23 @@ func runClusterEngine(spec Spec, opt Options, des bool) (*RunResult, error) {
 			opt.Sink.Emit(obs.SpanEvent(now, passID, "", obs.SpanPass, "", time.Since(passStart).Seconds()))
 		}
 
+		res.EnergyJ += charged.W() * period
+
 		if ups != nil {
 			if err := ups.Drain(charged, period); err != nil {
 				return nil, err
 			}
 		}
 		clock.Tick()
+	}
+	if spec.Serving != nil {
+		for _, n := range nodes {
+			sum := n.st.Scoreboard().Summarize(0)
+			for _, cs := range sum.Classes {
+				res.SLOOk += cs.SLOOk
+				res.SLOResolved += cs.Completed + cs.TimedOut
+			}
+		}
 	}
 	finishResult(res, suite)
 	return res, nil
